@@ -1,0 +1,20 @@
+//! E5: wall-clock scaling of dependency tracking with speculation depth
+//! (the quadratic message volume measured in virtual terms by the
+//! `quadratic` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_sim::quadratic::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("affirm_scaling");
+    g.sample_size(10);
+    for depth in [4u32, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            b.iter(|| measure(d, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! F4-F8: AID state-machine message-processing throughput (the pure
+//! machine, no runtime).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hope_core::AidMachine;
+use hope_types::{AidId, HopeMessage, IdoSet, IntervalId, ProcessId};
+
+fn bench(c: &mut Criterion) {
+    let me = AidId::from_raw(ProcessId::from_raw(9999));
+    let mut g = c.benchmark_group("aid_machine");
+    g.bench_function("guess_hot_path", |b| {
+        let mut machine = AidMachine::new();
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            machine.on_message(
+                me,
+                HopeMessage::Guess {
+                    iid: IntervalId::new(ProcessId::from_raw(1), i),
+                },
+            )
+        })
+    });
+    g.bench_function("affirm_with_100_dom", |b| {
+        b.iter_batched(
+            || {
+                let mut machine = AidMachine::new();
+                for i in 0..100 {
+                    machine.on_message(
+                        me,
+                        HopeMessage::Guess {
+                            iid: IntervalId::new(ProcessId::from_raw(1), i),
+                        },
+                    );
+                }
+                machine
+            },
+            |mut machine| {
+                machine.on_message(
+                    me,
+                    HopeMessage::Affirm {
+                        iid: None,
+                        ido: IdoSet::new(),
+                    },
+                )
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

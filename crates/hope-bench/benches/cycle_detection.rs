@@ -1,0 +1,23 @@
+//! F14: time to resolve interference rings of growing size under
+//! Algorithm 2.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_sim::rings::run_ring;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cycle_detection");
+    g.sample_size(10);
+    for n in [2u32, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("ring", n), &n, |b, &n| {
+            b.iter(|| {
+                let r = run_ring(n, true, 5_000_000, 1);
+                assert!(r.converged);
+                r
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

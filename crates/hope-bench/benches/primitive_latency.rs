@@ -1,0 +1,43 @@
+//! E4: wall-clock cost of executing the HOPE primitives through the whole
+//! stack (complementing the virtual-time flatness shown by `waitfree`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hope_core::HopeEnv;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("primitives");
+    g.sample_size(20);
+    g.bench_function("guess_affirm_cycle", |b| {
+        b.iter(|| {
+            let mut env = HopeEnv::builder().seed(1).build();
+            env.spawn_user("p", |ctx| {
+                let x = ctx.aid_init();
+                if ctx.guess(x) {
+                    ctx.affirm(x);
+                }
+            });
+            let report = env.run();
+            assert!(report.is_clean());
+            report
+        })
+    });
+    g.bench_function("guess_deny_rollback_cycle", |b| {
+        b.iter(|| {
+            let mut env = HopeEnv::builder().seed(1).build();
+            env.spawn_user("p", |ctx| {
+                let x = ctx.aid_init();
+                if ctx.guess(x) {
+                    ctx.deny(x);
+                    ctx.compute(hope_types::VirtualDuration::from_micros(1));
+                }
+            });
+            let report = env.run();
+            assert!(report.is_clean());
+            report
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! E6: wall-clock rollback cost as the replay log grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hope_sim::rollback::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rollback");
+    g.sample_size(10);
+    for depth in [2u32, 8, 32] {
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, &d| {
+            b.iter(|| measure(d, 8, 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! F1/F2 wall-clock bench: simulator throughput for the printer workload,
+//! sequential vs. streaming (virtual-time results are printed by the
+//! `fig1_fig2` binary; this measures the implementation's own speed).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hope_sim::printer::{run_sequential, run_streaming, PrinterConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("printer");
+    g.sample_size(20);
+    g.bench_function("sequential", |b| {
+        b.iter(|| run_sequential(PrinterConfig::default()))
+    });
+    g.bench_function("streaming_miss", |b| {
+        b.iter(|| run_streaming(PrinterConfig::default()))
+    });
+    g.bench_function("streaming_hit", |b| {
+        b.iter(|| {
+            run_streaming(PrinterConfig {
+                hit_boundary: true,
+                ..PrinterConfig::default()
+            })
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

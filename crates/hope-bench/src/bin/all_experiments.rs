@@ -1,0 +1,111 @@
+//! Runs every experiment of EXPERIMENTS.md in sequence and prints the
+//! full set of tables. `HOPE_FAST=1` shrinks the sweeps for CI.
+
+use hope_types::VirtualDuration;
+
+fn main() {
+    let fast = std::env::var("HOPE_FAST").as_deref() == Ok("1");
+
+    println!("======================================================");
+    println!(" HOPE reproduction — full experiment suite");
+    println!("======================================================\n");
+
+    // T1
+    let stats = hope_sim::protocol::run_canonical(1);
+    hope_bench::emit(&hope_sim::protocol::table_1(&stats));
+    println!();
+
+    // F1/F2
+    let latencies: &[VirtualDuration] = if fast {
+        &[VirtualDuration::from_millis(10)]
+    } else {
+        &[
+            VirtualDuration::from_micros(100),
+            VirtualDuration::from_millis(1),
+            VirtualDuration::from_millis(10),
+            VirtualDuration::from_millis(15),
+        ]
+    };
+    let iters = if fast { 3 } else { 10 };
+    hope_bench::emit(&hope_sim::printer::sweep(
+        latencies,
+        &[0.0, 0.01, 0.1, 0.5, 1.0],
+        iters,
+        42,
+    ));
+    println!();
+
+    // E3
+    hope_bench::emit(&hope_sim::chain::sweep(
+        if fast { &[2, 4] } else { &[1, 2, 3, 4, 6, 8] },
+        &[1.0, 0.9, 0.5, 0.0],
+        42,
+    ));
+    println!();
+
+    // E4
+    hope_bench::emit(&hope_sim::waitfree::sweep(
+        &[
+            VirtualDuration::from_micros(100),
+            VirtualDuration::from_millis(10),
+            VirtualDuration::from_millis(100),
+        ],
+        42,
+    ));
+    println!();
+
+    // E5
+    hope_bench::emit(&hope_sim::quadratic::sweep(
+        if fast { &[2, 8, 32] } else { &[1, 2, 4, 8, 16, 32, 64] },
+        42,
+    ));
+    println!();
+
+    // F13/F14
+    hope_bench::emit(&hope_sim::rings::sweep(
+        if fast { &[2, 4] } else { &[2, 3, 4, 6, 8, 12, 16] },
+        42,
+    ));
+    println!();
+
+    // E6
+    hope_bench::emit(&hope_sim::rollback::sweep(
+        if fast { &[2, 8] } else { &[1, 2, 4, 8, 16, 32] },
+        8,
+        42,
+    ));
+    println!();
+
+    // E7
+    hope_bench::emit(&hope_sim::scientific::sweep(
+        hope_sim::scientific::SolverConfig {
+            workers: if fast { 2 } else { 4 },
+            iterations_to_converge: if fast { 5 } else { 20 },
+            ..hope_sim::scientific::SolverConfig::default()
+        },
+        if fast {
+            &[(2_000, 5_000)]
+        } else {
+            &[(2_000, 100), (2_000, 1_000), (2_000, 5_000), (2_000, 15_000)]
+        },
+    ));
+    println!();
+
+    // E8
+    hope_bench::emit(&hope_sim::replication::sweep(
+        if fast { &[2, 4] } else { &[1, 2, 4, 8, 16] },
+        hope_types::VirtualDuration::from_millis(2),
+        42,
+    ));
+    println!();
+
+    // E9
+    hope_bench::emit(&hope_sim::soak::sweep(
+        if fast { &[1.0, 0.5] } else { &[1.0, 0.95, 0.9, 0.7, 0.5, 0.0] },
+        hope_sim::soak::SoakConfig {
+            clients: if fast { 3 } else { 8 },
+            calls_per_client: if fast { 4 } else { 10 },
+            ..hope_sim::soak::SoakConfig::default()
+        },
+    ));
+}

@@ -1,0 +1,7 @@
+//! F13/F14: interference rings — Algorithm 2 breaks dependency cycles via
+//! UDO; Algorithm 1 bounces forever (capped here).
+
+fn main() {
+    let table = hope_sim::rings::sweep(&[2, 3, 4, 6, 8, 12, 16, 24, 32], 42);
+    hope_bench::emit(&table);
+}

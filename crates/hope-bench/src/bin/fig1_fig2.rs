@@ -1,0 +1,17 @@
+//! F1/F2: the printer workload of §3.1 — sequential RPC (Figure 1) vs.
+//! HOPE call streaming (Figure 2), swept over latency and page-break
+//! probability.
+
+use hope_types::VirtualDuration;
+
+fn main() {
+    let latencies = [
+        VirtualDuration::from_micros(100), // LAN
+        VirtualDuration::from_millis(1),
+        VirtualDuration::from_millis(10),  // WAN
+        VirtualDuration::from_millis(15),  // the paper's 30 ms round trip
+    ];
+    let hit_probs = [0.0, 0.01, 0.1, 0.5, 1.0];
+    let table = hope_sim::printer::sweep(&latencies, &hit_probs, 10, 42);
+    hope_bench::emit(&table);
+}

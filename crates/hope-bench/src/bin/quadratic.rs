@@ -1,0 +1,7 @@
+//! E5: dependency-tracking cost vs. speculation depth — the quadratic
+//! behaviour the paper's §6 promises to analyze.
+
+fn main() {
+    let table = hope_sim::quadratic::sweep(&[1, 2, 4, 8, 16, 32, 64], 42);
+    hope_bench::emit(&table);
+}

@@ -1,0 +1,13 @@
+//! E8: optimistic replication — conflict pressure vs. rollback churn
+//! (the paper's §6 reference [5]).
+
+use hope_types::VirtualDuration;
+
+fn main() {
+    let table = hope_sim::replication::sweep(
+        &[1, 2, 4, 8, 16],
+        VirtualDuration::from_millis(2),
+        42,
+    );
+    hope_bench::emit(&table);
+}

@@ -1,0 +1,7 @@
+//! E6: rollback/replay cost vs. speculation depth (the price of the
+//! replay-based checkpoint substitute).
+
+fn main() {
+    let table = hope_sim::rollback::sweep(&[1, 2, 4, 8, 16, 32], 8, 42);
+    hope_bench::emit(&table);
+}

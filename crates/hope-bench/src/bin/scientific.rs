@@ -1,0 +1,22 @@
+//! E7: optimistic convergence detection for an iterative solver — the
+//! scientific-programming application of the paper's §6 reference \[6\].
+
+use hope_sim::scientific::{sweep, SolverConfig};
+
+fn main() {
+    let table = sweep(
+        SolverConfig {
+            workers: 4,
+            iterations_to_converge: 20,
+            ..SolverConfig::default()
+        },
+        &[
+            (2_000, 100),    // LAN: latency negligible
+            (2_000, 1_000),
+            (2_000, 5_000),
+            (2_000, 15_000), // transcontinental
+            (500, 15_000),   // tiny iterations, huge latency
+        ],
+    );
+    hope_bench::emit(&table);
+}

@@ -1,0 +1,12 @@
+//! E9: mixed soak workload — call latency percentiles vs. predictor
+//! accuracy under many concurrent streaming clients and jittered links.
+
+use hope_sim::soak::{sweep, SoakConfig};
+
+fn main() {
+    let table = sweep(
+        &[1.0, 0.95, 0.9, 0.7, 0.5, 0.0],
+        SoakConfig::default(),
+    );
+    hope_bench::emit(&table);
+}

@@ -1,0 +1,6 @@
+//! T1: regenerate the paper's Table 1 from a live canonical run.
+
+fn main() {
+    let stats = hope_sim::protocol::run_canonical(1);
+    hope_bench::emit(&hope_sim::protocol::table_1(&stats));
+}

@@ -1,0 +1,38 @@
+//! Prints the full HOPE protocol message-sequence trace of a small
+//! optimistic execution — the tool to reach for when asking "why did this
+//! roll back?".
+
+use bytes::Bytes;
+use hope_core::HopeEnv;
+use hope_types::{AidId, ProcessId, VirtualDuration};
+
+fn main() {
+    let mut env = HopeEnv::builder().seed(1).trace(10_000).build();
+    let verifier = env.spawn_user("verifier", |ctx| {
+        let m = ctx.receive(None);
+        let aid = AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(
+            m.data[..8].try_into().unwrap(),
+        )));
+        ctx.compute(VirtualDuration::from_millis(1));
+        ctx.deny(aid);
+    });
+    env.spawn_user("guesser", move |ctx| {
+        let x = ctx.aid_init();
+        ctx.send(
+            verifier,
+            0,
+            Bytes::from(x.process().as_raw().to_le_bytes().to_vec()),
+        );
+        if ctx.guess(x) {
+            ctx.compute(VirtualDuration::from_millis(10));
+        }
+    });
+    let report = env.run();
+    assert!(report.is_clean());
+    println!("process map: P0=verifier P1=guesser P2+=AID processes\n");
+    println!("--- full delivery trace ---");
+    print!("{}", env.runtime().trace().expect("tracing enabled").render(false));
+    println!("\n--- HOPE protocol only ---");
+    print!("{}", env.runtime().trace().unwrap().render(true));
+    println!("\nmetrics: {}", report.hope);
+}

@@ -1,0 +1,19 @@
+//! E4: the wait-free design criterion — HOPE primitive cost is flat in
+//! network latency while synchronous RPC cost grows linearly.
+
+use hope_types::VirtualDuration;
+
+fn main() {
+    let table = hope_sim::waitfree::sweep(
+        &[
+            VirtualDuration::from_micros(1),
+            VirtualDuration::from_micros(100),
+            VirtualDuration::from_millis(1),
+            VirtualDuration::from_millis(10),
+            VirtualDuration::from_millis(15),
+            VirtualDuration::from_millis(100),
+        ],
+        42,
+    );
+    hope_bench::emit(&table);
+}

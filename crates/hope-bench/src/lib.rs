@@ -1,0 +1,29 @@
+//! # hope-bench — the experiment harness
+//!
+//! One binary per paper artefact (see EXPERIMENTS.md at the workspace root
+//! for the experiment ↔ artefact mapping), each printing the corresponding
+//! table, plus Criterion wall-clock benches of the implementation itself:
+//!
+//! * `cargo run --release --bin all_experiments` — everything below,
+//! * `table1` — Table 1 protocol accounting,
+//! * `fig1_fig2` — the printer workload, sequential vs. call streaming,
+//! * `fig14_cycles` — interference rings, Algorithm 1 vs. Algorithm 2,
+//! * `rpc_improvement` — dependent-chain RPC improvement (E3),
+//! * `waitfree` — primitive cost vs. latency (E4),
+//! * `quadratic` — dependency-tracking cost (E5),
+//! * `rollback_depth` — replay cost (E6),
+//! * `ablation_policies` — the RetractPolicy / DenyPolicy /
+//!   GuessRollbackPolicy design choices compared head-to-head.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hope_sim::table::Table;
+
+/// Prints a table followed by its JSON rendering when `HOPE_JSON=1`.
+pub fn emit(table: &Table) {
+    println!("{table}");
+    if std::env::var("HOPE_JSON").as_deref() == Ok("1") {
+        println!("{}", table.to_json());
+    }
+}

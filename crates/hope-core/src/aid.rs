@@ -1,0 +1,598 @@
+//! The AID process state machine (paper, Figures 4–8).
+//!
+//! Each assumption identifier is realized by one [`AidActor`], an
+//! event-driven process that models the assumption's (partial) truth value
+//! and tracks the intervals that depend on it.
+//!
+//! The five states reflect the partial knowledge optimism introduces:
+//!
+//! * [`AidState::Cold`] — no primitive applied yet,
+//! * [`AidState::Hot`] — guessed, not yet affirmed,
+//! * [`AidState::Maybe`] — *speculatively* affirmed, subject to the
+//!   affirming interval's own assumptions (`A_IDO`),
+//! * [`AidState::True`] / [`AidState::False`] — unconditionally
+//!   affirmed / denied (terminal).
+//!
+//! The actor never terminates even in a terminal state, because pending
+//! `Guess` messages may still arrive and must be answered (the paper notes
+//! that reference counting can garbage-collect old AID processes; this
+//! implementation leaves actors in place — they are a few dozen bytes).
+
+use std::fmt;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hope_types::{AidId, Envelope, HopeMessage, IdoSet, IntervalSet, Payload};
+
+use hope_runtime::{Actor, ActorApi};
+
+use crate::metrics::HopeMetrics;
+
+/// Truth value of an assumption, including the three partial-knowledge
+/// states (paper, §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AidState {
+    /// The AID has not had any primitives applied to it yet.
+    Cold,
+    /// The AID has received a `Guess` but has not yet been affirmed.
+    Hot,
+    /// The AID was affirmed *subject to* the set `A_IDO` of other AIDs also
+    /// being affirmed.
+    Maybe,
+    /// Unconditionally affirmed (terminal).
+    True,
+    /// Unconditionally denied (terminal).
+    False,
+}
+
+impl AidState {
+    /// True for the two terminal states.
+    pub fn is_final(self) -> bool {
+        matches!(self, AidState::True | AidState::False)
+    }
+}
+
+impl fmt::Display for AidState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AidState::Cold => "Cold",
+            AidState::Hot => "Hot",
+            AidState::Maybe => "Maybe",
+            AidState::True => "True",
+            AidState::False => "False",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The state machine of one AID process. [`AidActor`] wraps it as a runtime
+/// actor; the machine itself is a pure, synchronously testable core that
+/// turns one message into a state change plus outgoing messages (which
+/// also makes it directly explorable by the exhaustive interleaving
+/// checker in `tests/exhaustive_interleavings.rs`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AidMachine {
+    state: AidState,
+    /// `DOM` — Depends On Me: intervals contingent on this AID.
+    dom: IntervalSet,
+    /// `A_IDO` — Affirm-I-Depend-On: AIDs predicating a speculative affirm.
+    a_ido: IdoSet,
+    /// Count of `affirm`/`deny` applied after a terminal state was reached
+    /// (the paper calls these user errors).
+    contract_violations: u64,
+    /// Outstanding references for garbage collection (paper §5:
+    /// "Reference counting can garbage collect old AID processes").
+    /// Starts at 1 (the creator); `Retain`/`Release` adjust it.
+    refs: i64,
+}
+
+/// Messages an [`AidMachine`] wants sent, with their destination interval.
+pub type AidOutput = Vec<HopeMessage>;
+
+impl AidMachine {
+    /// A fresh machine in state `Cold`.
+    pub fn new() -> Self {
+        AidMachine {
+            state: AidState::Cold,
+            dom: IntervalSet::new(),
+            a_ido: IdoSet::new(),
+            contract_violations: 0,
+            refs: 1,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> AidState {
+        self.state
+    }
+
+    /// The `DOM` set (intervals contingent on this AID).
+    pub fn dom(&self) -> &IntervalSet {
+        &self.dom
+    }
+
+    /// The `A_IDO` set (assumptions predicating a speculative affirm).
+    pub fn a_ido(&self) -> &IdoSet {
+        &self.a_ido
+    }
+
+    /// Number of affirm/deny contract violations observed.
+    pub fn contract_violations(&self) -> u64 {
+        self.contract_violations
+    }
+
+    /// Outstanding references.
+    pub fn refs(&self) -> i64 {
+        self.refs
+    }
+
+    /// True when this AID process may be garbage-collected: its assumption
+    /// is resolved (terminal state, so every pending guess can only have
+    /// come from a holder who should have retained) and no references
+    /// remain.
+    pub fn collectable(&self) -> bool {
+        self.refs <= 0 && self.state.is_final()
+    }
+
+    /// Processes one HOPE message, returning the messages to send.
+    /// Each returned message's target interval determines its destination
+    /// process (`iid.process()`). `self_id` is this AID's identity,
+    /// attached as the `cause` of every Rollback it issues.
+    ///
+    /// This is the literal transcription of the paper's Figures 5–8.
+    pub fn on_message(&mut self, self_id: AidId, msg: HopeMessage) -> AidOutput {
+        match msg {
+            HopeMessage::Guess { iid } => self.process_guess(self_id, iid),
+            HopeMessage::Affirm { ido, .. } => self.process_affirm(ido),
+            HopeMessage::Deny { .. } => self.process_deny(self_id),
+            HopeMessage::Retain => {
+                self.refs += 1;
+                Vec::new()
+            }
+            HopeMessage::Release => {
+                self.refs -= 1;
+                Vec::new()
+            }
+            // Replace/Rollback are User-bound; an AID receiving one is a
+            // protocol error we tolerate silently (stale routing).
+            HopeMessage::Replace { .. } | HopeMessage::Rollback { .. } => Vec::new(),
+        }
+    }
+
+    /// Figure 6: Guess message processing.
+    fn process_guess(&mut self, self_id: AidId, iid: hope_types::IntervalId) -> AidOutput {
+        match self.state {
+            AidState::Cold => {
+                // DOM := {sender}; record the Guess.
+                self.dom = IntervalSet::singleton(iid);
+                self.state = AidState::Hot;
+                Vec::new()
+            }
+            AidState::Hot => {
+                // DOM := DOM ∪ {sender}; state unchanged.
+                self.dom.insert(iid);
+                Vec::new()
+            }
+            AidState::Maybe => {
+                // Pass the buck: tell the sender to depend on A_IDO instead.
+                vec![HopeMessage::Replace {
+                    iid,
+                    ido: self.a_ido.clone(),
+                }]
+            }
+            AidState::True => {
+                // Replace X with ∅ in the sender's IDO.
+                vec![HopeMessage::Replace {
+                    iid,
+                    ido: IdoSet::new(),
+                }]
+            }
+            AidState::False => vec![HopeMessage::Rollback {
+                iid,
+                cause: Some(self_id),
+            }],
+        }
+    }
+
+    /// Figure 7: Affirm message processing.
+    fn process_affirm(&mut self, ido: IdoSet) -> AidOutput {
+        match self.state {
+            AidState::Cold | AidState::Hot | AidState::Maybe => {
+                self.a_ido = ido;
+                let out = self
+                    .dom
+                    .iter()
+                    .map(|&b| HopeMessage::Replace {
+                        iid: b,
+                        ido: self.a_ido.clone(),
+                    })
+                    .collect();
+                self.state = if self.a_ido.is_empty() {
+                    AidState::True
+                } else {
+                    AidState::Maybe
+                };
+                out
+            }
+            AidState::True | AidState::False => {
+                // Paper: user error ("abort"); we record and ignore so the
+                // rest of the system keeps running.
+                self.contract_violations += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Figure 8: Deny message processing (always unconditional).
+    fn process_deny(&mut self, self_id: AidId) -> AidOutput {
+        match self.state {
+            AidState::Cold | AidState::Hot | AidState::Maybe => {
+                let out = self
+                    .dom
+                    .iter()
+                    .map(|&b| HopeMessage::Rollback {
+                        iid: b,
+                        cause: Some(self_id),
+                    })
+                    .collect();
+                self.state = AidState::False;
+                out
+            }
+            AidState::False => Vec::new(), // redundant, ignore
+            AidState::True => {
+                // Conflicting affirm+deny: user error; record and ignore.
+                self.contract_violations += 1;
+                Vec::new()
+            }
+        }
+    }
+}
+
+impl Default for AidMachine {
+    fn default() -> Self {
+        AidMachine::new()
+    }
+}
+
+/// Runtime actor wrapping an [`AidMachine`] — one per assumption
+/// identifier, spawned by `aid_init` (paper, §4: "assumption identifiers
+/// are implemented as AID processes").
+pub struct AidActor {
+    machine: AidMachine,
+    metrics: Arc<HopeMetrics>,
+}
+
+impl AidActor {
+    /// Creates the actor with shared metrics for violation reporting.
+    pub fn new(metrics: Arc<HopeMetrics>) -> Self {
+        AidActor {
+            machine: AidMachine::new(),
+            metrics,
+        }
+    }
+}
+
+impl Actor for AidActor {
+    fn on_message(&mut self, envelope: Envelope, api: &mut dyn ActorApi) {
+        let Payload::Hope(msg) = envelope.payload else {
+            return; // user messages to an AID process are meaningless
+        };
+        let self_id = AidId::from_raw(api.pid());
+        let before = self.machine.contract_violations();
+        let out = self.machine.on_message(self_id, msg);
+        let after = self.machine.contract_violations();
+        if after > before {
+            self.metrics
+                .aid_contract_violations
+                .fetch_add(after - before, Ordering::Relaxed);
+        }
+        for reply in out {
+            let dst = reply.interval().process();
+            api.send(dst, Payload::Hope(reply));
+        }
+        if self.machine.collectable() {
+            self.metrics.aids_collected.fetch_add(1, Ordering::Relaxed);
+            api.stop();
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("aid[{}]", self.machine.state())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_types::{AidId, IntervalId, ProcessId};
+
+    fn iid(p: u64, i: u32) -> IntervalId {
+        IntervalId::new(ProcessId::from_raw(p), i)
+    }
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(ProcessId::from_raw(n))
+    }
+
+    /// The identity of the machine under test.
+    const SELF_RAW: u64 = 999;
+
+    fn me() -> AidId {
+        aid(SELF_RAW)
+    }
+
+    fn guess(p: u64, i: u32) -> HopeMessage {
+        HopeMessage::Guess { iid: iid(p, i) }
+    }
+
+    fn affirm(ido: &[AidId]) -> HopeMessage {
+        HopeMessage::Affirm {
+            iid: Some(iid(9, 9)),
+            ido: ido.iter().copied().collect(),
+        }
+    }
+
+    fn deny() -> HopeMessage {
+        HopeMessage::Deny {
+            iid: Some(iid(9, 9)),
+        }
+    }
+
+    #[test]
+    fn cold_guess_records_and_heats() {
+        let mut m = AidMachine::new();
+        let out = m.on_message(me(), guess(1, 0));
+        assert!(out.is_empty());
+        assert_eq!(m.state(), AidState::Hot);
+        assert_eq!(m.dom().as_slice(), &[iid(1, 0)]);
+    }
+
+    #[test]
+    fn hot_guess_accumulates_dom() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        let out = m.on_message(me(), guess(2, 3));
+        assert!(out.is_empty());
+        assert_eq!(m.state(), AidState::Hot);
+        assert_eq!(m.dom().len(), 2);
+    }
+
+    #[test]
+    fn duplicate_guess_is_idempotent() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        m.on_message(me(), guess(1, 0));
+        assert_eq!(m.dom().len(), 1);
+    }
+
+    #[test]
+    fn definite_affirm_moves_to_true_and_replaces_dom() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        m.on_message(me(), guess(2, 0));
+        let out = m.on_message(me(), affirm(&[]));
+        assert_eq!(m.state(), AidState::True);
+        assert_eq!(out.len(), 2);
+        for reply in &out {
+            match reply {
+                HopeMessage::Replace { ido, .. } => assert!(ido.is_empty()),
+                other => panic!("expected Replace, got {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn speculative_affirm_moves_to_maybe_with_a_ido() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        let out = m.on_message(me(), affirm(&[aid(7), aid(8)]));
+        assert_eq!(m.state(), AidState::Maybe);
+        assert_eq!(m.a_ido().len(), 2);
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            HopeMessage::Replace { iid: t, ido } => {
+                assert_eq!(*t, iid(1, 0));
+                assert_eq!(ido.len(), 2);
+            }
+            other => panic!("expected Replace, got {other}"),
+        }
+    }
+
+    #[test]
+    fn maybe_guess_passes_the_buck() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), affirm(&[aid(7)]));
+        assert_eq!(m.state(), AidState::Maybe);
+        let out = m.on_message(me(), guess(3, 2));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            HopeMessage::Replace { iid: t, ido } => {
+                assert_eq!(*t, iid(3, 2));
+                assert!(ido.contains(&aid(7)));
+            }
+            other => panic!("expected Replace, got {other}"),
+        }
+        // DOM is unchanged in Maybe (the paper's Fig. 6).
+        assert!(m.dom().is_empty());
+    }
+
+    #[test]
+    fn maybe_affirm_updates_a_ido_and_renotifies() {
+        // A second (conflicting, concurrent) affirm is legal in Maybe.
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        m.on_message(me(), affirm(&[aid(7)]));
+        let out = m.on_message(me(), affirm(&[aid(8)]));
+        assert_eq!(m.state(), AidState::Maybe);
+        assert_eq!(m.a_ido().as_slice(), &[aid(8)]);
+        assert_eq!(out.len(), 1, "DOM member renotified");
+    }
+
+    #[test]
+    fn maybe_affirm_with_empty_ido_becomes_true() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), affirm(&[aid(7)]));
+        m.on_message(me(), affirm(&[]));
+        assert_eq!(m.state(), AidState::True);
+    }
+
+    #[test]
+    fn true_guess_answers_replace_empty() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), affirm(&[]));
+        let out = m.on_message(me(), guess(4, 1));
+        assert_eq!(out.len(), 1);
+        match &out[0] {
+            HopeMessage::Replace { iid: t, ido } => {
+                assert_eq!(*t, iid(4, 1));
+                assert!(ido.is_empty());
+            }
+            other => panic!("expected Replace, got {other}"),
+        }
+        assert_eq!(m.state(), AidState::True);
+    }
+
+    #[test]
+    fn false_guess_answers_rollback() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), deny());
+        let out = m.on_message(me(), guess(4, 1));
+        assert_eq!(
+            out,
+            vec![HopeMessage::Rollback {
+                iid: iid(4, 1),
+                cause: Some(me())
+            }]
+        );
+        assert_eq!(m.state(), AidState::False);
+    }
+
+    #[test]
+    fn deny_rolls_back_all_dom_members() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        m.on_message(me(), guess(2, 5));
+        let out = m.on_message(me(), deny());
+        assert_eq!(m.state(), AidState::False);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|r| matches!(r, HopeMessage::Rollback { .. })));
+    }
+
+    #[test]
+    fn deny_from_maybe_rolls_back_dom() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), guess(1, 0));
+        m.on_message(me(), affirm(&[aid(7)]));
+        let out = m.on_message(me(), deny());
+        assert_eq!(m.state(), AidState::False);
+        // DOM member from the Hot era is rolled back.
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn affirm_after_final_is_contract_violation() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), affirm(&[]));
+        assert_eq!(m.contract_violations(), 0);
+        let out = m.on_message(me(), affirm(&[]));
+        assert!(out.is_empty());
+        assert_eq!(m.contract_violations(), 1);
+        assert_eq!(m.state(), AidState::True);
+    }
+
+    #[test]
+    fn deny_after_true_is_contract_violation() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), affirm(&[]));
+        m.on_message(me(), deny());
+        assert_eq!(m.contract_violations(), 1);
+        assert_eq!(m.state(), AidState::True, "terminal state sticks");
+    }
+
+    #[test]
+    fn deny_after_false_is_redundant_not_violation() {
+        let mut m = AidMachine::new();
+        m.on_message(me(), deny());
+        m.on_message(me(), deny());
+        assert_eq!(m.contract_violations(), 0);
+        assert_eq!(m.state(), AidState::False);
+    }
+
+    #[test]
+    fn exhaustive_state_transition_matrix() {
+        // For every (state, message) pair, verify the successor state of
+        // Figure 4. Build each source state from scratch.
+        type Builder = fn() -> AidMachine;
+        let cold: Builder = AidMachine::new;
+        let hot: Builder = || {
+            let mut m = AidMachine::new();
+            m.on_message(me(), HopeMessage::Guess {
+                iid: IntervalId::new(ProcessId::from_raw(1), 0),
+            });
+            m
+        };
+        let maybe: Builder = || {
+            let mut m = AidMachine::new();
+            m.on_message(me(), HopeMessage::Affirm {
+                iid: None,
+                ido: IdoSet::singleton(AidId::from_raw(ProcessId::from_raw(7))),
+            });
+            m
+        };
+        let tru: Builder = || {
+            let mut m = AidMachine::new();
+            m.on_message(me(), HopeMessage::Affirm {
+                iid: None,
+                ido: IdoSet::new(),
+            });
+            m
+        };
+        let fls: Builder = || {
+            let mut m = AidMachine::new();
+            m.on_message(me(), HopeMessage::Deny { iid: None });
+            m
+        };
+        let states: [(&str, Builder); 5] = [
+            ("Cold", cold),
+            ("Hot", hot),
+            ("Maybe", maybe),
+            ("True", tru),
+            ("False", fls),
+        ];
+        // (message factory, expected successor from each source state)
+        let g = || HopeMessage::Guess {
+            iid: IntervalId::new(ProcessId::from_raw(2), 1),
+        };
+        let a_def = || HopeMessage::Affirm {
+            iid: None,
+            ido: IdoSet::new(),
+        };
+        let a_spec = || HopeMessage::Affirm {
+            iid: None,
+            ido: IdoSet::singleton(AidId::from_raw(ProcessId::from_raw(8))),
+        };
+        let d = || HopeMessage::Deny { iid: None };
+        use AidState::*;
+        type MsgFactory = fn() -> HopeMessage;
+        let cases: [(&str, MsgFactory, [AidState; 5]); 4] = [
+            ("Guess", g, [Hot, Hot, Maybe, True, False]),
+            ("Affirm(∅)", a_def, [True, True, True, True, False]),
+            ("Affirm(S)", a_spec, [Maybe, Maybe, Maybe, True, False]),
+            ("Deny", d, [False, False, False, True, False]),
+        ];
+        for (mname, mfac, expected) in cases {
+            for (i, (sname, build)) in states.iter().enumerate() {
+                let mut m = build();
+                m.on_message(me(), mfac());
+                assert_eq!(
+                    m.state(),
+                    expected[i],
+                    "state {sname} on {mname} must reach {:?}",
+                    expected[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Policy knobs of the HOPE algorithm.
+//!
+//! The published pseudocode leaves two behaviours open; both readings are
+//! implemented and selectable so the ablation benchmarks can compare them
+//! (see DESIGN.md §3).
+
+/// What happens to the AIDs an interval has *speculatively affirmed*
+/// (its `IHA` set) when that interval is rolled back (Figure 11's rollback
+/// routine sends *a* message for each member; the paper does not pin down
+/// its type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetractPolicy {
+    /// Send nothing. The speculative affirm already encoded the affirmer's
+    /// assumptions in the AID's `A_IDO`, so dependents transitively roll
+    /// back through those assumptions when one of them is denied, and a
+    /// re-executed affirm/deny updates the AID through its legal
+    /// `Maybe`-state transitions. This is the default: it keeps the
+    /// re-execute-then-re-affirm idiom working.
+    #[default]
+    Keep,
+    /// Send an unconditional `Deny` for every member of `IHA`: maximally
+    /// conservative — every dependent of a retracted affirm rolls back
+    /// immediately — but a re-executed interval that re-affirms the same
+    /// AID then trips the paper's one-affirm-or-deny contract.
+    Deny,
+}
+
+/// When `deny` primitives executed by *speculative* intervals reach the
+/// AID process.
+///
+/// The paper states "Deny messages are always unconditional" and notes
+/// (footnote 1) that "Deny primitives can be buffered until they are
+/// definite"; Figure 11's finalize routine flushes an `IHD` set, which is
+/// the buffered variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DenyPolicy {
+    /// Send the `Deny` immediately, even from a speculative interval
+    /// (rollback is always safe, merely conservative). `free_of` always
+    /// denies immediately regardless of this policy, because its deny may
+    /// target an assumption the *denier itself* depends on and buffering
+    /// would deadlock.
+    #[default]
+    Immediate,
+    /// Buffer the deny in the interval's `IHD` set and send it when the
+    /// interval finalizes (paper, footnote 1 and Figure 11).
+    Buffered,
+}
+
+/// What a rolled-back `guess` does on re-execution.
+///
+/// Figure 11's rollback routine says "return False to the guess primitive
+/// that initiated interval A" — unconditionally, even when the rollback
+/// was caused by a dependency the interval acquired *transitively* (via a
+/// speculative affirm's Replace) rather than by denial of its own
+/// assumption. §3's prose, however, ties the `false` return to "x's
+/// assumption is later discovered to be false". Both readings are
+/// implemented.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GuessRollbackPolicy {
+    /// Return `false` only when the rollback's cause was one of the
+    /// interval's own guessed assumptions; otherwise re-issue the guess
+    /// (fresh interval, eager `true` again). Matches §3's prose and keeps
+    /// `guess(x) == false ⇔ x denied`. The default.
+    #[default]
+    Reguess,
+    /// Always return `false` after a rollback, as in Figure 11. Simpler
+    /// and never livelocks, but cascade rollbacks then drive guesses down
+    /// their pessimistic paths even though their assumptions still hold.
+    ReturnFalse,
+}
+
+/// Configuration of one HOPE environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopeConfig {
+    /// Rollback treatment of speculative affirms.
+    pub retract_policy: RetractPolicy,
+    /// Delivery timing of speculative denies.
+    pub deny_policy: DenyPolicy,
+    /// Enable Algorithm 2's `UDO` cycle detection (disable to reproduce
+    /// Algorithm 1's livelock on cyclic dependency graphs — Figure 13).
+    pub cycle_detection: bool,
+    /// Behaviour of a rolled-back `guess` (see [`GuessRollbackPolicy`]).
+    pub guess_rollback: GuessRollbackPolicy,
+}
+
+impl HopeConfig {
+    /// The default configuration: `Keep`, `Immediate`, cycle detection on
+    /// (i.e. Algorithm 2).
+    pub fn new() -> Self {
+        HopeConfig {
+            retract_policy: RetractPolicy::Keep,
+            deny_policy: DenyPolicy::Immediate,
+            cycle_detection: true,
+            guess_rollback: GuessRollbackPolicy::Reguess,
+        }
+    }
+
+    /// Algorithm 1 of the paper: identical but without cycle detection.
+    pub fn algorithm_1() -> Self {
+        HopeConfig {
+            cycle_detection: false,
+            ..HopeConfig::new()
+        }
+    }
+}
+
+impl Default for HopeConfig {
+    /// Same as [`HopeConfig::new`] (Algorithm 2).
+    fn default() -> Self {
+        HopeConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_algorithm_2() {
+        let c = HopeConfig::new();
+        assert!(c.cycle_detection);
+        assert_eq!(c.retract_policy, RetractPolicy::Keep);
+        assert_eq!(c.deny_policy, DenyPolicy::Immediate);
+    }
+
+    #[test]
+    fn algorithm_1_disables_cycle_detection() {
+        assert!(!HopeConfig::algorithm_1().cycle_detection);
+    }
+
+    #[test]
+    fn default_equals_new() {
+        assert_eq!(HopeConfig::default(), HopeConfig::new());
+    }
+}

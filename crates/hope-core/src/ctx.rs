@@ -1,0 +1,655 @@
+//! The user-facing HOPE programming interface.
+//!
+//! A HOPE user process is a closure over a [`ProcessCtx`], which provides
+//! the paper's data type and four primitives —
+//!
+//! * [`ProcessCtx::aid_init`] — create an assumption identifier,
+//! * [`ProcessCtx::guess`] — make an optimistic assumption (eagerly
+//!   returns `true`; returns `false` after a rollback),
+//! * [`ProcessCtx::affirm`] / [`ProcessCtx::deny`] — resolve an assumption,
+//! * [`ProcessCtx::free_of`] — assert independence from an assumption —
+//!
+//! plus tagged messaging ([`ProcessCtx::send`] / [`ProcessCtx::receive`]),
+//! virtual compute time, deterministic randomness and process spawning.
+//!
+//! Every operation is **wait-free**: nothing here ever waits for a reply
+//! from another process. All remote effects are fire-and-forget messages.
+//!
+//! # Determinism contract
+//!
+//! Rollback re-executes the closure from the top, replaying logged
+//! interactions (see [`crate::replay`]). The closure must therefore be
+//! deterministic *relative to the context*: all communication, time,
+//! randomness and spawning must go through `ProcessCtx`. Capturing
+//! mutable external state is safe only if the closure never reads what it
+//! wrote on a previous (rolled-back) execution.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use hope_types::{AidId, IdoSet, IntervalId, ProcessId, UserMessage, VirtualDuration, VirtualTime};
+
+use hope_runtime::SysApi;
+
+use crate::aid::AidActor;
+use crate::config::DenyPolicy;
+use crate::hopelib::LibState;
+use crate::interval::IntervalOrigin;
+use crate::metrics::HopeMetrics;
+use crate::replay::{Op, ReplayLog};
+
+/// Panic payload used to unwind the user closure when one of its intervals
+/// must roll back. Caught by the process wrapper, never observable by user
+/// code.
+pub(crate) struct RollbackSignal;
+
+/// Panic payload used to unwind the user closure when the runtime shuts
+/// down mid-receive. Caught by the process wrapper.
+pub(crate) struct ShutdownSignal;
+
+/// A message delivered to user code: sender plus payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    /// The sending process.
+    pub src: ProcessId,
+    /// The channel the message was sent on.
+    pub channel: u32,
+    /// The payload.
+    pub data: Bytes,
+}
+
+/// The context of a running HOPE user process. See the [module
+/// docs](crate::ctx) for an overview and `examples/` for full programs.
+pub struct ProcessCtx<'a> {
+    sys: &'a mut dyn SysApi,
+    lib: &'a Arc<Mutex<LibState>>,
+    log: &'a mut ReplayLog,
+    metrics: Arc<HopeMetrics>,
+}
+
+impl<'a> ProcessCtx<'a> {
+    pub(crate) fn new(
+        sys: &'a mut dyn SysApi,
+        lib: &'a Arc<Mutex<LibState>>,
+        log: &'a mut ReplayLog,
+        metrics: Arc<HopeMetrics>,
+    ) -> Self {
+        ProcessCtx {
+            sys,
+            lib,
+            log,
+            metrics,
+        }
+    }
+
+    /// This process's identity.
+    pub fn pid(&self) -> ProcessId {
+        self.sys.pid()
+    }
+
+    /// True while this execution is replaying a logged prefix after a
+    /// rollback (useful for diagnostics; user logic should not branch on
+    /// it).
+    pub fn is_replaying(&self) -> bool {
+        self.log.is_replaying()
+    }
+
+    /// True if the process currently depends on any unresolved assumption.
+    pub fn is_speculative(&self) -> bool {
+        !self.lib.lock().history.current_deps().is_empty()
+    }
+
+    /// The set of assumptions the process currently depends on (the tag
+    /// that would be attached to an outgoing message right now).
+    pub fn current_deps(&self) -> IdoSet {
+        self.lib.lock().history.current_deps().clone()
+    }
+
+    /// Identity of the current interval.
+    pub fn current_interval(&self) -> IntervalId {
+        self.lib.lock().history.current().id
+    }
+
+    /// Unwinds into the rollback machinery if `Control` has doomed one of
+    /// this process's intervals since the last primitive.
+    fn check_rollback(&self) {
+        if self.lib.lock().pending_rollback.is_some() {
+            std::panic::panic_any(RollbackSignal);
+        }
+    }
+
+    /// Registers interval `iid` with every assumption in `members` by
+    /// sending `Guess` messages (the DOM registration of §5.2).
+    fn register_guesses(&mut self, iid: IntervalId, members: &IdoSet) {
+        for &aid in members.iter() {
+            self.sys.send(
+                aid.process(),
+                hope_types::Payload::Hope(hope_types::HopeMessage::Guess { iid }),
+            );
+        }
+    }
+
+    fn diverge(&self, err: hope_types::HopeError) -> ! {
+        std::panic::panic_any(err.to_string());
+    }
+
+    // ------------------------------------------------------------------
+    // The four HOPE primitives + aid_init
+    // ------------------------------------------------------------------
+
+    /// Creates a fresh assumption identifier by spawning its AID process
+    /// (paper: `aid_init`, used to set up a checking mechanism ahead of
+    /// time). The AID starts `Cold`; no dependency is created until
+    /// someone [`guess`](ProcessCtx::guess)es it.
+    pub fn aid_init(&mut self) -> AidId {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("AidInit", |op| match op {
+                Op::AidInit { aid } => Some(*aid),
+                _ => None,
+            }) {
+                Ok(aid) => aid,
+                Err(e) => self.diverge(e),
+            };
+        }
+        self.check_rollback();
+        let metrics = self.metrics.clone();
+        let pid = self
+            .sys
+            .spawn_actor("aid", Box::new(AidActor::new(metrics)));
+        let aid = AidId::from_raw(pid);
+        self.log.record(Op::AidInit { aid });
+        aid
+    }
+
+    /// Declares an additional reference to `aid` (AID garbage collection,
+    /// paper §5). Call it when handing the identifier to another holder
+    /// whose lifetime you do not control; pair with
+    /// [`aid_release`](ProcessCtx::aid_release).
+    pub fn aid_retain(&mut self, aid: AidId) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("AidRetain", |op| match op {
+                Op::AidRetain { aid: a } if *a == aid => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return,
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        self.log.record(Op::AidRetain { aid });
+        self.sys
+            .send(aid.process(), hope_types::Payload::Hope(hope_types::HopeMessage::Retain));
+    }
+
+    /// Drops a reference to `aid`. When the last reference is released
+    /// *and* the assumption has been resolved (`True`/`False`), the AID
+    /// process is garbage-collected; guessing a collected AID blocks
+    /// forever, so release only identifiers that no one will use again.
+    /// Releases are immediate and are not undone by rollback — release
+    /// from definite code.
+    pub fn aid_release(&mut self, aid: AidId) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("AidRelease", |op| match op {
+                Op::AidRelease { aid: a } if *a == aid => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return,
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        self.log.record(Op::AidRelease { aid });
+        self.sys
+            .send(aid.process(), hope_types::Payload::Hope(hope_types::HopeMessage::Release));
+    }
+
+    /// Makes the optimistic assumption identified by `aid`.
+    ///
+    /// Eagerly returns `true` — speculative computation begins here,
+    /// dependent on `aid`. If the assumption is later denied, the process
+    /// rolls back to this point and `guess` returns `false` instead.
+    /// Idiomatically used as the condition of an `if`: the `true` branch
+    /// holds the optimistic algorithm, the `false` branch the pessimistic
+    /// one.
+    pub fn guess(&mut self, aid: AidId) -> bool {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("Guess", |op| match op {
+                Op::Guess { aid: a, outcome } if *a == aid => Some(*outcome),
+                _ => None,
+            }) {
+                Ok(outcome) => outcome,
+                Err(e) => self.diverge(e),
+            };
+        }
+        self.check_rollback();
+        self.metrics.guesses.fetch_add(1, Ordering::Relaxed);
+        let op = self.log.record(Op::Guess { aid, outcome: true });
+        let (iid, members) = {
+            let mut lib = self.lib.lock();
+            let iid = lib
+                .history
+                .open_interval(IntervalOrigin::ExplicitGuess { op }, [aid]);
+            (iid, lib.history.current().ido.clone())
+        };
+        // Register the new interval with every assumption it depends on —
+        // the inherited set plus the fresh guess (quadratic by design; see
+        // DESIGN.md experiment E5).
+        self.register_guesses(iid, &members);
+        true
+    }
+
+    /// Asserts that `aid`'s assumption is correct.
+    ///
+    /// Executed from a speculative interval, the affirm itself is
+    /// speculative: the AID enters `Maybe`, predicated on this interval's
+    /// remaining assumptions, and is unconditionally affirmed when the
+    /// interval finalizes (affirm transitivity, paper Lemma 5.3).
+    ///
+    /// Applying `affirm` or [`deny`](ProcessCtx::deny) to an
+    /// already-resolved assumption violates the paper's one-resolution
+    /// contract; the violation is counted in
+    /// [`HopeMetrics::aid_contract_violations`] rather than aborting.
+    pub fn affirm(&mut self, aid: AidId) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("Affirm", |op| match op {
+                Op::Affirm { aid: a } if *a == aid => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return,
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        self.metrics.affirms.fetch_add(1, Ordering::Relaxed);
+        let (iid, ido) = {
+            let mut lib = self.lib.lock();
+            let cur = lib.history.current_mut();
+            let mut ido = cur.ido.clone();
+            ido.remove(&aid);
+            if !ido.is_empty() {
+                // Speculative affirm: remember it for finalize.
+                cur.iha.insert(aid);
+            }
+            (cur.id, ido)
+        };
+        self.log.record(Op::Affirm { aid });
+        self.sys.send(
+            aid.process(),
+            hope_types::Payload::Hope(hope_types::HopeMessage::Affirm {
+                iid: Some(iid),
+                ido,
+            }),
+        );
+    }
+
+    /// Asserts that `aid`'s assumption is incorrect: every computation that
+    /// depends on it — including, possibly, this one — rolls back.
+    ///
+    /// With [`DenyPolicy::Immediate`] (default) the deny is sent at once
+    /// even from a speculative interval; with [`DenyPolicy::Buffered`] it
+    /// is held in the interval's `IHD` set until the interval finalizes
+    /// (paper, footnote 1).
+    pub fn deny(&mut self, aid: AidId) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("Deny", |op| match op {
+                Op::Deny { aid: a } if *a == aid => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return,
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        self.metrics.denies.fetch_add(1, Ordering::Relaxed);
+        let (iid, send_now) = {
+            let mut lib = self.lib.lock();
+            let deny_policy = lib.config().deny_policy;
+            let cur = lib.history.current_mut();
+            let send_now = deny_policy == DenyPolicy::Immediate || cur.definite;
+            if !send_now {
+                cur.ihd.insert(aid);
+            }
+            (cur.id, send_now)
+        };
+        self.log.record(Op::Deny { aid });
+        if send_now {
+            self.sys.send(
+                aid.process(),
+                hope_types::Payload::Hope(hope_types::HopeMessage::Deny { iid: Some(iid) }),
+            );
+        }
+    }
+
+    /// Asserts that this computation is **not** dependent on `aid`
+    /// (paper: `free_of`). If a dependency is detected the assumption is
+    /// denied — rolling back every dependent, including this process —
+    /// and `false` is returned; otherwise the assumption is affirmed and
+    /// `true` is returned.
+    ///
+    /// The deny is always sent immediately (buffering a self-targeting
+    /// deny would deadlock).
+    pub fn free_of(&mut self, aid: AidId) -> bool {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("FreeOf", |op| match op {
+                Op::FreeOf { aid: a, outcome } if *a == aid => Some(*outcome),
+                _ => None,
+            }) {
+                Ok(outcome) => outcome,
+                Err(e) => self.diverge(e),
+            };
+        }
+        self.check_rollback();
+        self.metrics.free_ofs.fetch_add(1, Ordering::Relaxed);
+        let (iid, dependent, affirm_ido) = {
+            let mut lib = self.lib.lock();
+            let cur = lib.history.current_mut();
+            let dependent = cur.ido.contains(&aid);
+            let mut ido = cur.ido.clone();
+            ido.remove(&aid);
+            if !dependent && !ido.is_empty() {
+                cur.iha.insert(aid);
+            }
+            (cur.id, dependent, ido)
+        };
+        self.log.record(Op::FreeOf {
+            aid,
+            outcome: !dependent,
+        });
+        if dependent {
+            self.sys.send(
+                aid.process(),
+                hope_types::Payload::Hope(hope_types::HopeMessage::Deny { iid: Some(iid) }),
+            );
+            false
+        } else {
+            self.sys.send(
+                aid.process(),
+                hope_types::Payload::Hope(hope_types::HopeMessage::Affirm {
+                    iid: Some(iid),
+                    ido: affirm_ido,
+                }),
+            );
+            true
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Tagged messaging
+    // ------------------------------------------------------------------
+
+    /// Sends `data` to `dst` on `channel`, tagged with this process's
+    /// current dependency set. The receiver implicitly guesses every AID
+    /// in the tag before its user code sees the message.
+    pub fn send(&mut self, dst: ProcessId, channel: u32, data: Bytes) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("Send", |op| match op {
+                Op::Send { dst: d, channel: c } if *d == dst && *c == channel => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return, // already sent on the original execution
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        let tag = self.lib.lock().history.current_deps().clone();
+        self.log.record(Op::Send { dst, channel });
+        self.sys.send(
+            dst,
+            hope_types::Payload::User(UserMessage::tagged(channel, data, tag)),
+        );
+    }
+
+    /// Blocks until a message arrives (optionally filtered by channel),
+    /// implicitly guessing every assumption in its dependency tag.
+    ///
+    /// If one of those assumptions is already false, this receive point is
+    /// where the process will roll back to — the stale message is
+    /// discarded and the receive blocks again for a fresh one.
+    pub fn receive(&mut self, channel: Option<u32>) -> Delivery {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            let (src, msg) = match self.log.replay_next("Receive", |op| match op {
+                Op::Receive { src, msg }
+                    if channel.is_none_or(|c| c == msg.channel) =>
+                {
+                    Some((*src, msg.clone()))
+                }
+                _ => None,
+            }) {
+                Ok(v) => v,
+                Err(e) => self.diverge(e),
+            };
+            return Delivery {
+                src,
+                channel: msg.channel,
+                data: msg.data,
+            };
+        }
+        self.check_rollback();
+        let lib = Arc::clone(self.lib);
+        let mut interrupt = move || lib.lock().pending_rollback.is_some();
+        match self.sys.receive(channel, &mut interrupt) {
+            None => {
+                if self.lib.lock().pending_rollback.is_some() {
+                    std::panic::panic_any(RollbackSignal);
+                }
+                std::panic::panic_any(ShutdownSignal);
+            }
+            Some(received) => {
+                let src = received.src;
+                let msg = received.msg;
+                let op = self.log.record(Op::Receive {
+                    src,
+                    msg: msg.clone(),
+                });
+                if !msg.tag.is_empty() {
+                    self.metrics
+                        .implicit_guesses
+                        .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
+                    let (iid, members) = {
+                        let mut lib = self.lib.lock();
+                        let iid = lib.history.open_interval(
+                            IntervalOrigin::ImplicitReceive { op },
+                            msg.tag.iter().copied(),
+                        );
+                        (iid, lib.history.current().ido.clone())
+                    };
+                    self.register_guesses(iid, &members);
+                }
+                Delivery {
+                    src,
+                    channel: msg.channel,
+                    data: msg.data,
+                }
+            }
+        }
+    }
+
+    /// Non-blocking receive; returns `None` when no matching message is
+    /// queued. Tagged messages create implicit guesses exactly like
+    /// [`receive`](ProcessCtx::receive).
+    pub fn try_receive(&mut self, channel: Option<u32>) -> Option<Delivery> {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            let result = match self.log.replay_next("TryReceive", |op| match op {
+                Op::TryReceive { result } => Some(result.clone()),
+                _ => None,
+            }) {
+                Ok(r) => r,
+                Err(e) => self.diverge(e),
+            };
+            return result.map(|(src, msg)| Delivery {
+                src,
+                channel: msg.channel,
+                data: msg.data,
+            });
+        }
+        self.check_rollback();
+        let received = self.sys.try_receive(channel);
+        let result = received.map(|r| (r.src, r.msg));
+        let op = self.log.record(Op::TryReceive {
+            result: result.clone(),
+        });
+        result.map(|(src, msg)| {
+            if !msg.tag.is_empty() {
+                self.metrics
+                    .implicit_guesses
+                    .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
+                let (iid, members) = {
+                    let mut lib = self.lib.lock();
+                    let iid = lib.history.open_interval(
+                        IntervalOrigin::ImplicitReceive { op },
+                        msg.tag.iter().copied(),
+                    );
+                    (iid, lib.history.current().ido.clone())
+                };
+                self.register_guesses(iid, &members);
+            }
+            Delivery {
+                src,
+                channel: msg.channel,
+                data: msg.data,
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Time, randomness, spawning
+    // ------------------------------------------------------------------
+
+    /// Spends `dur` of virtual compute time.
+    pub fn compute(&mut self, dur: VirtualDuration) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("Compute", |op| match op {
+                Op::Compute { dur: d } if *d == dur => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return, // the time was already spent
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        self.log.record(Op::Compute { dur });
+        self.sys.compute(dur);
+        self.check_rollback();
+    }
+
+    /// Current virtual time. Replays the originally observed instant
+    /// during re-execution (rollback does not rewind the clock, exactly as
+    /// a restored process image would keep its old time reads).
+    pub fn now(&mut self) -> VirtualTime {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("Now", |op| match op {
+                Op::Now { value } => Some(*value),
+                _ => None,
+            }) {
+                Ok(v) => v,
+                Err(e) => self.diverge(e),
+            };
+        }
+        let value = self.sys.now();
+        self.log.record(Op::Now { value });
+        value
+    }
+
+    /// Deterministic random value (stable across re-executions).
+    pub fn random(&mut self) -> u64 {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("Random", |op| match op {
+                Op::Random { value } => Some(*value),
+                _ => None,
+            }) {
+                Ok(v) => v,
+                Err(e) => self.diverge(e),
+            };
+        }
+        let value = self.sys.random_u64();
+        self.log.record(Op::Random { value });
+        value
+    }
+
+    /// Blocks until **every** interval of this process is definite — a
+    /// commit barrier. Use it before externally visible actions that must
+    /// not be speculative (shutting down a server, emitting final output).
+    ///
+    /// If a pending assumption is instead denied, the process rolls back
+    /// from here like any other blocking point. If an assumption is never
+    /// resolved at all, this waits forever (the same contract as a
+    /// blocked `receive`).
+    pub fn await_definite(&mut self) {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            match self.log.replay_next("Barrier", |op| match op {
+                Op::Barrier => Some(()),
+                _ => None,
+            }) {
+                Ok(()) => return,
+                Err(e) => self.diverge(e),
+            }
+        }
+        self.check_rollback();
+        loop {
+            {
+                let state = self.lib.lock();
+                if state.pending_rollback.is_some() {
+                    drop(state);
+                    std::panic::panic_any(RollbackSignal);
+                }
+                if state.history.fully_definite() {
+                    break;
+                }
+            }
+            let lib = Arc::clone(self.lib);
+            let mut interrupt = move || {
+                let state = lib.lock();
+                state.pending_rollback.is_some() || state.history.fully_definite()
+            };
+            if !self.sys.park(&mut interrupt) {
+                std::panic::panic_any(ShutdownSignal);
+            }
+        }
+        self.log.record(Op::Barrier);
+    }
+
+    /// Spawns another HOPE user process running `body` and returns its id.
+    ///
+    /// Spawns are **not** rolled back: a child spawned from an interval
+    /// that later rolls back keeps running (an external side effect, like
+    /// the paper's I/O). Prefer spawning from definite intervals.
+    pub fn spawn_user<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
+    {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            return match self.log.replay_next("SpawnUser", |op| match op {
+                Op::SpawnUser { pid } => Some(*pid),
+                _ => None,
+            }) {
+                Ok(pid) => pid,
+                Err(e) => self.diverge(e),
+            };
+        }
+        self.check_rollback();
+        let config = self.lib.lock().config();
+        let (_lib, control, runner) =
+            crate::env::make_user_process(config, self.metrics.clone(), Box::new(body));
+        let pid = self.sys.spawn_threaded(name, Some(control), runner);
+        self.log.record(Op::SpawnUser { pid });
+        pid
+    }
+}

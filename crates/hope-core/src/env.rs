@@ -1,0 +1,473 @@
+//! The HOPE environment: wires user processes, their HOPElibs and AID
+//! processes onto the runtime (the overall structure of the paper's
+//! Figure 3).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use hope_runtime::{ControlHandler, NetworkConfig, RunReport, SimRuntime, SysApi};
+use hope_types::{ProcessId, VirtualTime};
+
+use crate::config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
+use crate::ctx::{ProcessCtx, RollbackSignal, ShutdownSignal};
+use crate::hopelib::{LibControl, LibState};
+use crate::interval::IntervalOrigin;
+use crate::metrics::{HopeMetrics, MetricsSnapshot};
+use crate::replay::ReplayLog;
+
+/// A HOPE user-process body: called with a fresh context on first execution
+/// and on every rollback-driven re-execution (hence `Fn`, not `FnOnce`).
+pub type UserBody = Box<dyn Fn(&mut ProcessCtx<'_>) + Send>;
+
+/// The pieces a runtime needs to host one HOPE user process.
+pub(crate) type UserProcessParts = (
+    Arc<Mutex<LibState>>,
+    Box<dyn ControlHandler>,
+    hope_runtime::ProcessBody,
+);
+
+/// Builds the control handler and thread body for one HOPE user process.
+/// Used by [`HopeEnv::spawn_user`] and by
+/// [`ProcessCtx::spawn_user`](crate::ProcessCtx::spawn_user).
+pub(crate) fn make_user_process(
+    config: HopeConfig,
+    metrics: Arc<HopeMetrics>,
+    body: UserBody,
+) -> UserProcessParts {
+    let lib = Arc::new(Mutex::new(LibState::new(config, metrics.clone())));
+    let control = Box::new(LibControl::new(lib.clone()));
+    let runner_lib = lib.clone();
+    let runner = Box::new(move |sys: &mut dyn SysApi| {
+        run_user_body(sys, &runner_lib, metrics, body);
+    });
+    (lib, control, runner)
+}
+
+enum LingerOutcome {
+    /// Every interval finalized: the process may terminate.
+    Definite,
+    /// A rollback arrived after the body finished.
+    Rollback,
+    /// The runtime is shutting down.
+    Shutdown,
+}
+
+/// Silences the default panic printout for the internal unwind signals
+/// (they are caught and handled; printing them would flood stderr on every
+/// rollback). Installed once per process, chaining to the previous hook
+/// for genuine panics.
+fn install_silent_signal_hook() {
+    static INSTALL: std::sync::Once = std::sync::Once::new();
+    INSTALL.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<RollbackSignal>().is_some()
+                || info.payload().downcast_ref::<ShutdownSignal>().is_some()
+            {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// The process main loop: run the body, handle rollback unwinds by
+/// re-executing, and linger after completion until every interval is
+/// definite (a finished-but-speculative process can still be rolled back).
+fn run_user_body(
+    sys: &mut dyn SysApi,
+    lib: &Arc<Mutex<LibState>>,
+    metrics: Arc<HopeMetrics>,
+    body: UserBody,
+) {
+    install_silent_signal_hook();
+    lib.lock().bind(sys.pid());
+    let mut log = ReplayLog::new(sys.pid());
+    loop {
+        let outcome = {
+            let mut ctx = ProcessCtx::new(sys, lib, &mut log, metrics.clone());
+            catch_unwind(AssertUnwindSafe(|| body(&mut ctx)))
+        };
+        match outcome {
+            Ok(()) => match linger(sys, lib) {
+                LingerOutcome::Definite | LingerOutcome::Shutdown => return,
+                LingerOutcome::Rollback => {
+                    if !perform_rollback(sys, lib, &mut log, &metrics) {
+                        return;
+                    }
+                }
+            },
+            Err(payload) => {
+                if payload.is::<RollbackSignal>() {
+                    if !perform_rollback(sys, lib, &mut log, &metrics) {
+                        return;
+                    }
+                } else if payload.is::<ShutdownSignal>() {
+                    return;
+                } else {
+                    // A genuine user panic: let the runtime report it.
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+/// After the body returns, wait until every interval is definite (or a
+/// rollback arrives, or the runtime stops).
+fn linger(sys: &mut dyn SysApi, lib: &Arc<Mutex<LibState>>) -> LingerOutcome {
+    loop {
+        {
+            let state = lib.lock();
+            if state.pending_rollback.is_some() {
+                return LingerOutcome::Rollback;
+            }
+            if state.history.fully_definite() {
+                return LingerOutcome::Definite;
+            }
+        }
+        let lib2 = Arc::clone(lib);
+        let mut interrupt = move || {
+            let state = lib2.lock();
+            state.pending_rollback.is_some() || state.history.fully_definite()
+        };
+        // Park WITHOUT consuming messages: queued user messages may be
+        // needed by a rollback re-execution (e.g. a WorryWart's forwarded
+        // true reply).
+        if !sys.park(&mut interrupt) {
+            return LingerOutcome::Shutdown;
+        }
+    }
+}
+
+/// Applies a pending rollback: truncate the history, retract speculative
+/// affirms per policy, rewind the operation log, and signal the caller to
+/// re-execute. Returns `false` when the rollback is stale (nothing to do
+/// and nothing live), which lets the caller keep its previous course.
+fn perform_rollback(
+    sys: &mut dyn SysApi,
+    lib: &Arc<Mutex<LibState>>,
+    log: &mut ReplayLog,
+    metrics: &Arc<HopeMetrics>,
+) -> bool {
+    let (discarded, cause, guess_policy) = {
+        let mut state = lib.lock();
+        let Some(pending) = state.pending_rollback.take() else {
+            // Spurious wakeup: continue re-execution anyway (the log is
+            // simply replayed to its end, reproducing the current state).
+            log.rewind();
+            return true;
+        };
+        let target = state
+            .history
+            .intervals()
+            .iter()
+            .find(|r| r.id.index() >= pending.floor && !r.definite)
+            .map(|r| r.id);
+        let Some(target) = target else {
+            log.rewind();
+            return true;
+        };
+        let retract = state.config().retract_policy;
+        let guess_policy = state.config().guess_rollback;
+        let discarded = state.history.truncate_from(target).unwrap_or_default();
+        if retract == RetractPolicy::Deny {
+            for rec in &discarded {
+                for &aid in rec.iha.iter() {
+                    sys.send(
+                        aid.process(),
+                        hope_types::Payload::Hope(hope_types::HopeMessage::Deny { iid: None }),
+                    );
+                }
+            }
+        }
+        (discarded, pending.cause, guess_policy)
+    };
+    if discarded.is_empty() {
+        log.rewind();
+        return true;
+    }
+    metrics
+        .rollbacks
+        .fetch_add(discarded.len() as u64, Ordering::Relaxed);
+    metrics.reexecutions.fetch_add(1, Ordering::Relaxed);
+    // Did the rollback's cause die on *this* interval's own assumption
+    // (its trigger set)? If so the boundary primitive resolves as false /
+    // tainted; otherwise — under the Reguess policy — the boundary
+    // primitive is re-issued live, because its own assumption still holds.
+    let boundary = &discarded[0];
+    let own_assumption_died = match cause {
+        Some(c) => boundary.trigger.contains(&c),
+        // Unknown cause: take the paper's Figure 11 reading.
+        None => true,
+    };
+    let paper_semantics = guess_policy == GuessRollbackPolicy::ReturnFalse;
+    let removed = match boundary.origin {
+        IntervalOrigin::ExplicitGuess { op } => {
+            if own_assumption_died || paper_semantics {
+                log.rollback_to_guess(op)
+            } else {
+                // The cause reached this interval through a *replaced*
+                // dependency, not its own assumption: re-issue the guess —
+                // drop the Guess op so re-execution performs it live
+                // (fresh interval, eager true again).
+                log.rollback_before(op)
+            }
+        }
+        // The boundary message is always discarded: the rollback reached
+        // this interval through the message's dependency chain (directly
+        // through its tag, or through a Replace of a tag member), so the
+        // message's *sender* has rolled back and will re-send whatever is
+        // still warranted. Re-receiving the old copy would duplicate it.
+        IntervalOrigin::ImplicitReceive { op } => log.rollback_to_receive(op),
+        IntervalOrigin::Root => unreachable!("the root interval is definite"),
+    };
+    // Restore messages consumed inside the discarded region to the mailbox
+    // in their original order (a process-image restore would restore the
+    // input queue). Tainted survivors are filtered out naturally when
+    // re-received: their implicit guess hits a False AID.
+    let requeue: Vec<hope_runtime::Received> = removed
+        .into_iter()
+        .filter_map(|op| match op {
+            crate::replay::Op::Receive { src, msg } => Some(hope_runtime::Received { src, msg }),
+            crate::replay::Op::TryReceive {
+                result: Some((src, msg)),
+            } => Some(hope_runtime::Received { src, msg }),
+            _ => None,
+        })
+        .collect();
+    if !requeue.is_empty() {
+        sys.requeue_front(requeue);
+    }
+    true
+}
+
+/// Builds a [`HopeEnv`].
+///
+/// # Examples
+///
+/// ```
+/// use hope_core::{HopeEnv, RetractPolicy};
+/// use hope_runtime::NetworkConfig;
+///
+/// let env = HopeEnv::builder()
+///     .seed(7)
+///     .network(NetworkConfig::wan())
+///     .retract_policy(RetractPolicy::Keep)
+///     .build();
+/// # let _ = env;
+/// ```
+#[derive(Debug)]
+pub struct HopeEnvBuilder {
+    seed: u64,
+    network: NetworkConfig,
+    config: HopeConfig,
+    max_events: u64,
+    trace_capacity: usize,
+}
+
+impl Default for HopeEnvBuilder {
+    fn default() -> Self {
+        HopeEnvBuilder {
+            seed: 0,
+            network: NetworkConfig::default(),
+            config: HopeConfig::new(),
+            max_events: 50_000_000,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl HopeEnvBuilder {
+    /// Seed for all deterministic randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Network latency configuration.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Full algorithm configuration.
+    pub fn config(mut self, config: HopeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Rollback treatment of speculative affirms.
+    pub fn retract_policy(mut self, policy: RetractPolicy) -> Self {
+        self.config.retract_policy = policy;
+        self
+    }
+
+    /// Delivery timing of speculative denies.
+    pub fn deny_policy(mut self, policy: DenyPolicy) -> Self {
+        self.config.deny_policy = policy;
+        self
+    }
+
+    /// Toggle Algorithm 2's cycle detection (off = paper's Algorithm 1).
+    pub fn cycle_detection(mut self, enabled: bool) -> Self {
+        self.config.cycle_detection = enabled;
+        self
+    }
+
+    /// Behaviour of a rolled-back `guess` (see [`GuessRollbackPolicy`]).
+    pub fn guess_rollback(mut self, policy: GuessRollbackPolicy) -> Self {
+        self.config.guess_rollback = policy;
+        self
+    }
+
+    /// Event-count safety valve.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Keep a bounded delivery trace (see
+    /// [`SimRuntime::trace`](hope_runtime::SimRuntime::trace)); 0 = off.
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the environment.
+    pub fn build(self) -> HopeEnv {
+        HopeEnv {
+            rt: SimRuntime::builder()
+                .seed(self.seed)
+                .network(self.network)
+                .max_events(self.max_events)
+                .trace(self.trace_capacity)
+                .build(),
+            config: self.config,
+            metrics: Arc::new(HopeMetrics::new()),
+            libs: Vec::new(),
+        }
+    }
+}
+
+/// A complete HOPE environment: the simulated runtime plus the shared
+/// algorithm configuration and metrics. See the crate docs for an example.
+pub struct HopeEnv {
+    rt: SimRuntime,
+    config: HopeConfig,
+    metrics: Arc<HopeMetrics>,
+    libs: Vec<(ProcessId, String, Arc<Mutex<LibState>>)>,
+}
+
+/// Outcome of [`HopeEnv::run`].
+#[derive(Debug, Clone)]
+pub struct HopeReport {
+    /// The runtime-level report (virtual time, messages, panics, blocked).
+    pub run: RunReport,
+    /// HOPE algorithm counters.
+    pub hope: MetricsSnapshot,
+}
+
+impl HopeReport {
+    /// True when the run finished without panics or event-limit stops.
+    pub fn is_clean(&self) -> bool {
+        self.run.is_clean()
+    }
+}
+
+impl HopeEnv {
+    /// Starts configuring an environment.
+    pub fn builder() -> HopeEnvBuilder {
+        HopeEnvBuilder::default()
+    }
+
+    /// Default environment (LAN latency, Algorithm 2, seed 0).
+    pub fn new() -> Self {
+        HopeEnvBuilder::default().build()
+    }
+
+    /// Spawns a HOPE user process. `body` may be re-executed after
+    /// rollbacks; see [`ProcessCtx`] for the determinism contract.
+    pub fn spawn_user<F>(&mut self, name: &str, body: F) -> ProcessId
+    where
+        F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
+    {
+        let (lib, control, runner) =
+            make_user_process(self.config, self.metrics.clone(), Box::new(body));
+        let pid = self.rt.spawn_threaded(name, Some(control), runner);
+        self.libs.push((pid, name.to_string(), lib));
+        pid
+    }
+
+    /// A snapshot of a process's interval history (processes spawned via
+    /// [`HopeEnv::spawn_user`] only; children spawned by
+    /// [`ProcessCtx::spawn_user`] are not tracked here).
+    pub fn history_of(&self, pid: ProcessId) -> Option<Vec<crate::interval::IntervalRecord>> {
+        self.libs
+            .iter()
+            .find(|(p, _, _)| *p == pid)
+            .map(|(_, _, lib)| lib.lock().history.intervals().to_vec())
+    }
+
+    /// Processes (pid, name) that still hold speculative intervals.
+    pub fn speculative_processes(&self) -> Vec<(ProcessId, String)> {
+        self.libs
+            .iter()
+            .filter(|(_, _, lib)| !lib.lock().history.fully_definite())
+            .map(|(p, n, _)| (*p, n.clone()))
+            .collect()
+    }
+
+    /// Runs to quiescence and reports.
+    pub fn run(&mut self) -> HopeReport {
+        let run = self.rt.run();
+        HopeReport {
+            run,
+            hope: self.metrics.snapshot(),
+        }
+    }
+
+    /// Runs until `deadline` (later events stay queued).
+    pub fn run_until(&mut self, deadline: VirtualTime) -> HopeReport {
+        let run = self.rt.run_until(deadline);
+        HopeReport {
+            run,
+            hope: self.metrics.snapshot(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.rt.now()
+    }
+
+    /// The shared metrics handle.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The algorithm configuration.
+    pub fn config(&self) -> HopeConfig {
+        self.config
+    }
+
+    /// Direct access to the underlying runtime (workload generators use
+    /// this for non-HOPE helper processes and message statistics).
+    pub fn runtime_mut(&mut self) -> &mut SimRuntime {
+        &mut self.rt
+    }
+
+    /// Read-only access to the underlying runtime.
+    pub fn runtime(&self) -> &SimRuntime {
+        &self.rt
+    }
+}
+
+impl Default for HopeEnv {
+    fn default() -> Self {
+        HopeEnv::new()
+    }
+}

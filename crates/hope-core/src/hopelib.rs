@@ -1,0 +1,551 @@
+//! The HOPElib attached to each user process: shared state and the
+//! `Control` function (paper, Figures 9–11 and — with cycle detection —
+//! Figure 15).
+//!
+//! `Control` runs on the scheduler whenever a HOPE protocol message is
+//! addressed to the user process, updating the process's interval history
+//! and dependency sets without ever involving (or blocking) the user
+//! thread. When a rollback is required, `Control` records it and wakes the
+//! process; the actual unwinding and re-execution happen on the user
+//! thread (see [`crate::env`]).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use hope_types::{AidId, HopeMessage, IdoSet, IntervalId, Payload, ProcessId};
+
+use hope_runtime::{ControlApi, ControlHandler};
+use parking_lot::Mutex;
+
+use crate::config::HopeConfig;
+use crate::interval::History;
+use crate::metrics::HopeMetrics;
+
+/// A rollback demanded by `Control`, awaiting execution on the user
+/// thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingRollback {
+    /// Index of the lowest doomed interval.
+    pub floor: u32,
+    /// The denied assumption that triggered it, when the AID said so.
+    pub cause: Option<hope_types::AidId>,
+}
+
+/// The bookkeeping state of one user process's HOPElib: its interval
+/// history and any pending rollback. Shared (behind a mutex) between the
+/// `Control` handler running on the scheduler and the
+/// [`ProcessCtx`](crate::ProcessCtx) running on the user thread; only one
+/// of the two ever runs at a time.
+#[derive(Debug)]
+pub struct LibState {
+    pid: ProcessId,
+    bound: bool,
+    /// The interval history (public for inspection in tests and tools).
+    pub history: History,
+    /// The lowest doomed interval (and its cause) from received
+    /// `Rollback` messages; cleared when the user thread rolls back.
+    pub pending_rollback: Option<PendingRollback>,
+    config: HopeConfig,
+    metrics: Arc<HopeMetrics>,
+}
+
+impl LibState {
+    /// Creates unbound state; [`LibState::bind`] attaches the process id
+    /// once the process thread starts.
+    pub fn new(config: HopeConfig, metrics: Arc<HopeMetrics>) -> Self {
+        let placeholder = ProcessId::from_raw(u64::MAX);
+        LibState {
+            pid: placeholder,
+            bound: false,
+            history: History::new(placeholder),
+            pending_rollback: None,
+            config,
+            metrics,
+        }
+    }
+
+    /// Binds the state to its process (idempotent).
+    pub fn bind(&mut self, pid: ProcessId) {
+        if !self.bound {
+            self.pid = pid;
+            self.history = History::new(pid);
+            self.bound = true;
+        }
+    }
+
+    /// The owning process (meaningful once bound).
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The environment configuration.
+    pub fn config(&self) -> HopeConfig {
+        self.config
+    }
+
+    /// Shared metrics handle.
+    pub fn metrics(&self) -> &Arc<HopeMetrics> {
+        &self.metrics
+    }
+
+    /// Handles one HOPE protocol message (the paper's `control` function).
+    pub fn handle_control(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
+        if !self.bound {
+            // No intervals can exist yet; nothing can match.
+            return;
+        }
+        match msg {
+            HopeMessage::Rollback { iid, cause } => self.handle_rollback(iid, cause, api),
+            HopeMessage::Replace { iid, ido } => {
+                self.handle_replace(AidId::from_raw(src), iid, ido, api)
+            }
+            // Guess/Affirm/Deny are AID-bound; receiving one here is a
+            // protocol error tolerated silently.
+            _ => {}
+        }
+    }
+
+    /// Figure 10/15, `Rollback` case: mark the interval (and implicitly all
+    /// later ones) doomed and wake the process so its thread unwinds.
+    fn handle_rollback(
+        &mut self,
+        iid: IntervalId,
+        cause: Option<hope_types::AidId>,
+        api: &mut dyn ControlApi,
+    ) {
+        match self.history.get(iid) {
+            None => {} // stale: the interval was already rolled back
+            Some(rec) if rec.definite => {
+                // Finalize is a commit point; a rollback arriving for a
+                // definite interval is ignored (see DESIGN.md §3).
+                self.metrics.late_rollbacks.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(_) => {
+                let incoming = PendingRollback {
+                    floor: iid.index(),
+                    cause,
+                };
+                self.pending_rollback = Some(match self.pending_rollback {
+                    None => incoming,
+                    Some(cur) if incoming.floor < cur.floor => incoming,
+                    Some(cur) => cur,
+                });
+                api.wake();
+            }
+        }
+    }
+
+    /// Figure 15, `Replace` case (Figure 10 when `cycle_detection` is off):
+    /// substitute the sending AID with its replacement set in the target
+    /// interval's IDO, registering with any newly acquired assumptions and
+    /// discarding ones the interval already escaped from (`UDO`).
+    fn handle_replace(
+        &mut self,
+        sender: AidId,
+        iid: IntervalId,
+        replacement: IdoSet,
+        api: &mut dyn ControlApi,
+    ) {
+        let cycle_detection = self.config.cycle_detection;
+        let mut cycles_broken = 0u64;
+        {
+            let Some(rec) = self.history.get_mut(iid) else {
+                return; // stale
+            };
+            if rec.definite {
+                return;
+            }
+            for &y in replacement.iter() {
+                if cycle_detection && rec.udo.contains(&y) {
+                    // The interval already escaped Y once: this replacement
+                    // closes a dependency cycle. Discard it (Figure 15).
+                    cycles_broken += 1;
+                    continue;
+                }
+                if rec.ido.insert(y) {
+                    // Register with the newly acquired assumption so its
+                    // Replace/Rollback traffic reaches this interval.
+                    api.send(
+                        y.process(),
+                        Payload::Hope(HopeMessage::Guess { iid }),
+                    );
+                }
+            }
+            rec.ido.remove(&sender);
+            rec.udo.insert(sender);
+        }
+        if cycles_broken > 0 {
+            self.metrics
+                .cycles_broken
+                .fetch_add(cycles_broken, Ordering::Relaxed);
+        }
+        self.finalize_ready(api);
+    }
+
+    /// Finalizes every interval whose IDO has emptied (Figure 11's
+    /// `finalize`): definite affirms for `IHA`, buffered denies for `IHD`,
+    /// and a wake so a lingering process can observe definiteness.
+    pub fn finalize_ready(&mut self, api: &mut dyn ControlApi) {
+        let floor = self.pending_rollback.map(|p| p.floor);
+        let done = self.history.finalize_ready(floor);
+        if done.is_empty() {
+            return;
+        }
+        self.metrics
+            .finalized_intervals
+            .fetch_add(done.len() as u64, Ordering::Relaxed);
+        for (_iid, iha, ihd) in done {
+            for &y in iha.iter() {
+                api.send(
+                    y.process(),
+                    Payload::Hope(HopeMessage::Affirm {
+                        iid: None,
+                        ido: IdoSet::new(),
+                    }),
+                );
+            }
+            for &y in ihd.iter() {
+                api.send(y.process(), Payload::Hope(HopeMessage::Deny { iid: None }));
+            }
+        }
+        api.wake();
+    }
+}
+
+/// The [`ControlHandler`] registered with the runtime for each HOPE user
+/// process: forwards protocol messages into the shared [`LibState`].
+pub struct LibControl {
+    lib: Arc<Mutex<LibState>>,
+}
+
+impl LibControl {
+    /// Wraps the shared state.
+    pub fn new(lib: Arc<Mutex<LibState>>) -> Self {
+        LibControl { lib }
+    }
+}
+
+impl ControlHandler for LibControl {
+    fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
+        self.lib.lock().handle_control(src, msg, api);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interval::IntervalOrigin;
+    use hope_types::VirtualTime;
+
+    /// Test double for ControlApi collecting sends and wakes.
+    #[derive(Default)]
+    struct FakeApi {
+        sent: Vec<(ProcessId, HopeMessage)>,
+        wakes: usize,
+    }
+
+    impl ControlApi for FakeApi {
+        fn pid(&self) -> ProcessId {
+            ProcessId::from_raw(1)
+        }
+        fn now(&self) -> VirtualTime {
+            VirtualTime::ZERO
+        }
+        fn send(&mut self, dst: ProcessId, payload: Payload) {
+            let Payload::Hope(m) = payload else {
+                panic!("control only sends HOPE messages")
+            };
+            self.sent.push((dst, m));
+        }
+        fn wake(&mut self) {
+            self.wakes += 1;
+        }
+    }
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(pid(100 + n))
+    }
+
+    fn bound_lib() -> LibState {
+        let mut lib = LibState::new(HopeConfig::new(), Arc::new(HopeMetrics::new()));
+        lib.bind(pid(1));
+        lib
+    }
+
+    #[test]
+    fn rollback_of_live_interval_sets_pending_and_wakes() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Rollback { iid, cause: Some(AidId::from_raw(aid(1).process())) },
+            &mut api,
+        );
+        assert_eq!(
+            lib.pending_rollback,
+            Some(PendingRollback {
+                floor: iid.index(),
+                cause: Some(AidId::from_raw(aid(1).process()))
+            })
+        );
+        assert_eq!(api.wakes, 1);
+    }
+
+    #[test]
+    fn rollback_keeps_lowest_index() {
+        let mut lib = bound_lib();
+        let a = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let b = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        let mut api = FakeApi::default();
+        let rb = |iid| HopeMessage::Rollback { iid, cause: None };
+        lib.handle_control(aid(2).process(), rb(b), &mut api);
+        lib.handle_control(aid(1).process(), rb(a), &mut api);
+        lib.handle_control(aid(2).process(), rb(b), &mut api);
+        assert_eq!(lib.pending_rollback.map(|p| p.floor), Some(a.index()));
+    }
+
+    #[test]
+    fn rollback_of_definite_interval_is_ignored_and_counted() {
+        let mut lib = bound_lib();
+        let root = lib.history.current().id;
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Rollback { iid: root, cause: None },
+            &mut api,
+        );
+        assert_eq!(lib.pending_rollback, None);
+        assert_eq!(lib.metrics().late_rollbacks.load(Ordering::Relaxed), 1);
+        assert_eq!(api.wakes, 0);
+    }
+
+    #[test]
+    fn rollback_of_unknown_interval_is_stale_noop() {
+        let mut lib = bound_lib();
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Rollback {
+                iid: IntervalId::new(pid(1), 77),
+                cause: None,
+            },
+            &mut api,
+        );
+        assert_eq!(lib.pending_rollback, None);
+        assert_eq!(api.wakes, 0);
+    }
+
+    #[test]
+    fn replace_empty_removes_sender_and_finalizes() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::new(),
+            },
+            &mut api,
+        );
+        let rec = lib.history.get(iid).unwrap();
+        assert!(rec.definite, "empty IDO finalizes the interval");
+        assert!(rec.ido.is_empty());
+        assert!(rec.udo.contains(&aid(1)), "sender enters UDO");
+        assert_eq!(api.wakes, 1, "finalize wakes a lingering process");
+    }
+
+    #[test]
+    fn replace_with_set_swaps_dependency_and_registers() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::singleton(aid(2)),
+            },
+            &mut api,
+        );
+        let rec = lib.history.get(iid).unwrap();
+        assert!(!rec.definite);
+        assert!(rec.ido.contains(&aid(2)));
+        assert!(!rec.ido.contains(&aid(1)));
+        assert!(rec.udo.contains(&aid(1)));
+        // A Guess registration went to the new dependency.
+        assert_eq!(api.sent.len(), 1);
+        assert_eq!(api.sent[0].0, aid(2).process());
+        assert!(matches!(api.sent[0].1, HopeMessage::Guess { iid: g } if g == iid));
+    }
+
+    #[test]
+    fn replace_closing_a_cycle_is_discarded_by_udo() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        // First replace 1 -> {2}; UDO = {1}.
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::singleton(aid(2)),
+            },
+            &mut api,
+        );
+        // Then 2 -> {1}: aid(1) is in UDO, so the cycle is broken and the
+        // interval, left with an empty IDO, finalizes.
+        lib.handle_control(
+            aid(2).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::singleton(aid(1)),
+            },
+            &mut api,
+        );
+        let rec = lib.history.get(iid).unwrap();
+        assert!(rec.definite, "interval escapes the 2-cycle");
+        assert_eq!(lib.metrics().cycles_broken.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn algorithm_1_does_not_break_cycles() {
+        let mut lib = LibState::new(HopeConfig::algorithm_1(), Arc::new(HopeMetrics::new()));
+        lib.bind(pid(1));
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::singleton(aid(2)),
+            },
+            &mut api,
+        );
+        lib.handle_control(
+            aid(2).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::singleton(aid(1)),
+            },
+            &mut api,
+        );
+        let rec = lib.history.get(iid).unwrap();
+        assert!(
+            !rec.definite,
+            "Algorithm 1 re-acquires the dependency and keeps bouncing"
+        );
+        assert!(rec.ido.contains(&aid(1)));
+    }
+
+    #[test]
+    fn replace_for_definite_interval_is_ignored() {
+        let mut lib = bound_lib();
+        let root = lib.history.current().id;
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid: root,
+                ido: IdoSet::singleton(aid(2)),
+            },
+            &mut api,
+        );
+        assert!(lib.history.get(root).unwrap().ido.is_empty());
+        assert!(api.sent.is_empty());
+    }
+
+    #[test]
+    fn finalize_flushes_iha_and_ihd() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        {
+            let rec = lib.history.get_mut(iid).unwrap();
+            rec.iha.insert(aid(5));
+            rec.ihd.insert(aid(6));
+        }
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::new(),
+            },
+            &mut api,
+        );
+        let affirms: Vec<_> = api
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, HopeMessage::Affirm { ido, .. } if ido.is_empty()))
+            .collect();
+        let denies: Vec<_> = api
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, HopeMessage::Deny { .. }))
+            .collect();
+        assert_eq!(affirms.len(), 1);
+        assert_eq!(affirms[0].0, aid(5).process());
+        assert_eq!(denies.len(), 1);
+        assert_eq!(denies[0].0, aid(6).process());
+    }
+
+    #[test]
+    fn pending_rollback_blocks_finalize_of_doomed_interval() {
+        let mut lib = bound_lib();
+        let iid = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Rollback { iid, cause: None },
+            &mut api,
+        );
+        // A racing Replace empties the IDO, but the interval is doomed.
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid,
+                ido: IdoSet::new(),
+            },
+            &mut api,
+        );
+        assert!(!lib.history.get(iid).unwrap().definite);
+    }
+
+    #[test]
+    fn unbound_lib_ignores_messages() {
+        let mut lib = LibState::new(HopeConfig::new(), Arc::new(HopeMetrics::new()));
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            pid(9),
+            HopeMessage::Rollback {
+                iid: IntervalId::new(pid(1), 1),
+                cause: None,
+            },
+            &mut api,
+        );
+        assert_eq!(api.wakes, 0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Intervals and per-process execution histories (paper, §5 and Fig. 9).
+//!
+//! An **interval** is the stretch of a user process's execution between two
+//! `guess` points: the smallest granularity of rollback. Each interval
+//! carries the dependency sets of Figures 10/15:
+//!
+//! * `IDO` — *I Depend On*: the assumptions this interval is contingent on,
+//! * `UDO` — *Used to Depend On*: assumptions replaced away; Algorithm 2
+//!   compares incoming replacements against it to break dependency cycles,
+//! * `IHA` — *I Have Affirmed*: AIDs speculatively affirmed within the
+//!   interval (finalize sends them unconditional affirms),
+//! * `IHD` — *I Have Denied*: AIDs whose denies are buffered until the
+//!   interval is definite (optional policy; see [`DenyPolicy`]).
+//!
+//! A new interval inherits its predecessor's cumulative `IDO` plus the
+//! newly guessed assumption, and re-registers with every inherited AID —
+//! the source of the quadratic cost the paper's §6 promises to analyze.
+//!
+//! [`DenyPolicy`]: crate::config::DenyPolicy
+
+use hope_types::{AidId, IdoSet, IntervalId, ProcessId};
+
+/// How an interval came to exist, which determines what rollback does at
+/// its boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalOrigin {
+    /// The initial interval of a process; never rolled back.
+    Root,
+    /// Opened by an explicit `guess` — the operation-log index of the
+    /// `Guess` entry. Rollback re-runs the guess with outcome `false`.
+    ExplicitGuess {
+        /// Index of the `Guess` entry in the process's operation log.
+        op: usize,
+    },
+    /// Opened implicitly by receiving a tagged message — the log index of
+    /// the `Receive` entry. Rollback discards the message and blocks for a
+    /// fresh one.
+    ImplicitReceive {
+        /// Index of the `Receive` entry in the process's operation log.
+        op: usize,
+    },
+}
+
+/// One interval of a process history, with its dependency sets.
+#[derive(Debug, Clone)]
+pub struct IntervalRecord {
+    /// Identity (process + monotone index; indices are never reused, so
+    /// stale protocol messages for discarded intervals are harmless).
+    pub id: IntervalId,
+    /// How this interval started.
+    pub origin: IntervalOrigin,
+    /// The assumptions this interval *newly* guessed at its opening (the
+    /// explicit guess, or the message tag of an implicit one) — as opposed
+    /// to inherited or replacement-acquired dependencies. Used to decide
+    /// whether a rollback's cause was this interval's own assumption.
+    pub trigger: IdoSet,
+    /// I Depend On.
+    pub ido: IdoSet,
+    /// Used to Depend On (Algorithm 2 cycle detection).
+    pub udo: IdoSet,
+    /// I Have Affirmed (speculative affirms awaiting finalize).
+    pub iha: IdoSet,
+    /// I Have Denied (buffered denies awaiting finalize).
+    pub ihd: IdoSet,
+    /// True once finalized: the interval can no longer roll back.
+    pub definite: bool,
+}
+
+impl IntervalRecord {
+    fn root(process: ProcessId) -> Self {
+        IntervalRecord {
+            id: IntervalId::new(process, 0),
+            origin: IntervalOrigin::Root,
+            trigger: IdoSet::new(),
+            ido: IdoSet::new(),
+            udo: IdoSet::new(),
+            iha: IdoSet::new(),
+            ihd: IdoSet::new(),
+            definite: true,
+        }
+    }
+}
+
+/// The execution history of one user process: an ordered list of intervals,
+/// of which a (possibly empty) suffix is speculative.
+#[derive(Debug, Clone)]
+pub struct History {
+    process: ProcessId,
+    intervals: Vec<IntervalRecord>,
+    next_index: u32,
+}
+
+impl History {
+    /// A fresh history containing only the definite root interval.
+    pub fn new(process: ProcessId) -> Self {
+        History {
+            process,
+            intervals: vec![IntervalRecord::root(process)],
+            next_index: 1,
+        }
+    }
+
+    /// The owning process.
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// All live intervals, oldest first.
+    pub fn intervals(&self) -> &[IntervalRecord] {
+        &self.intervals
+    }
+
+    /// The youngest (current) interval.
+    pub fn current(&self) -> &IntervalRecord {
+        self.intervals.last().expect("history never empty")
+    }
+
+    /// Mutable access to the youngest interval.
+    pub fn current_mut(&mut self) -> &mut IntervalRecord {
+        self.intervals.last_mut().expect("history never empty")
+    }
+
+    /// Looks up a live interval by id.
+    pub fn get(&self, id: IntervalId) -> Option<&IntervalRecord> {
+        self.intervals.iter().find(|r| r.id == id)
+    }
+
+    /// Mutable lookup by id.
+    pub fn get_mut(&mut self, id: IntervalId) -> Option<&mut IntervalRecord> {
+        self.intervals.iter_mut().find(|r| r.id == id)
+    }
+
+    /// True if every live interval is definite.
+    pub fn fully_definite(&self) -> bool {
+        self.intervals.iter().all(|r| r.definite)
+    }
+
+    /// The cumulative dependency set of the process right now (the tag to
+    /// attach to outgoing messages).
+    pub fn current_deps(&self) -> &IdoSet {
+        &self.current().ido
+    }
+
+    /// Opens a new interval that inherits the current cumulative `IDO`
+    /// plus `extra` assumptions. Returns its id; the caller is responsible
+    /// for sending `Guess` registrations for every member of the new IDO.
+    pub fn open_interval(
+        &mut self,
+        origin: IntervalOrigin,
+        extra: impl IntoIterator<Item = AidId>,
+    ) -> IntervalId {
+        let id = IntervalId::new(self.process, self.next_index);
+        self.next_index += 1;
+        let trigger: IdoSet = extra.into_iter().collect();
+        let mut ido = self.current().ido.clone();
+        ido.extend(trigger.iter().copied());
+        self.intervals.push(IntervalRecord {
+            id,
+            origin,
+            trigger,
+            ido,
+            udo: IdoSet::new(),
+            iha: IdoSet::new(),
+            ihd: IdoSet::new(),
+            definite: false,
+        });
+        id
+    }
+
+    /// Discards interval `id` and every later interval, returning the
+    /// discarded records (newest last). Returns `None` if `id` is not live.
+    ///
+    /// Interval indices are *not* reused afterwards, so protocol messages
+    /// addressed to discarded intervals are recognizably stale.
+    pub fn truncate_from(&mut self, id: IntervalId) -> Option<Vec<IntervalRecord>> {
+        let pos = self.intervals.iter().position(|r| r.id == id)?;
+        if pos == 0 {
+            // The root interval is definite and cannot roll back; callers
+            // guard against this, but be safe.
+            return None;
+        }
+        Some(self.intervals.split_off(pos))
+    }
+
+    /// Marks every finalizable interval definite, oldest-first: an interval
+    /// finalizes when its `IDO` is empty, its predecessor is definite, and
+    /// no pending rollback dooms it. Returns the finalized records' ids
+    /// along with their drained `IHA`/`IHD` sets (for the finalize
+    /// messages of Figure 11).
+    pub fn finalize_ready(
+        &mut self,
+        rollback_floor: Option<u32>,
+    ) -> Vec<(IntervalId, IdoSet, IdoSet)> {
+        let mut out = Vec::new();
+        let mut prev_definite = true;
+        for rec in &mut self.intervals {
+            if rec.definite {
+                prev_definite = true;
+                continue;
+            }
+            let doomed = rollback_floor.is_some_and(|f| rec.id.index() >= f);
+            if !prev_definite || doomed || !rec.ido.is_empty() {
+                break;
+            }
+            rec.definite = true;
+            let iha = std::mem::take(&mut rec.iha);
+            let ihd = std::mem::take(&mut rec.ihd);
+            out.push((rec.id, iha, ihd));
+            prev_definite = true;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(pid(100 + n))
+    }
+
+    #[test]
+    fn new_history_has_definite_root() {
+        let h = History::new(pid(1));
+        assert_eq!(h.intervals().len(), 1);
+        assert!(h.current().definite);
+        assert!(h.current().ido.is_empty());
+        assert!(h.fully_definite());
+        assert_eq!(h.current().id.index(), 0);
+    }
+
+    #[test]
+    fn open_interval_inherits_deps() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        assert_eq!(a.index(), 1);
+        assert_eq!(h.current().ido.as_slice(), &[aid(1)]);
+        let b = h.open_interval(IntervalOrigin::ExplicitGuess { op: 5 }, [aid(2)]);
+        assert_eq!(b.index(), 2);
+        assert_eq!(h.current().ido.len(), 2, "inherits aid(1) plus aid(2)");
+        assert!(!h.fully_definite());
+    }
+
+    #[test]
+    fn truncate_discards_suffix_and_never_reuses_indices() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let _b = h.open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        let dropped = h.truncate_from(a).unwrap();
+        assert_eq!(dropped.len(), 2);
+        assert_eq!(h.intervals().len(), 1);
+        let c = h.open_interval(IntervalOrigin::ExplicitGuess { op: 2 }, [aid(3)]);
+        assert_eq!(c.index(), 3, "indices keep increasing after truncation");
+        assert!(h.get(a).is_none(), "stale ids do not resolve");
+    }
+
+    #[test]
+    fn truncate_refuses_root() {
+        let mut h = History::new(pid(1));
+        let root = h.current().id;
+        assert!(h.truncate_from(root).is_none());
+    }
+
+    #[test]
+    fn truncate_unknown_id_is_none() {
+        let mut h = History::new(pid(1));
+        assert!(h
+            .truncate_from(IntervalId::new(pid(1), 42))
+            .is_none());
+    }
+
+    #[test]
+    fn finalize_ready_in_order_only() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let b = h.open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        // Empty b's IDO but not a's: nothing may finalize (predecessor rule).
+        h.get_mut(b).unwrap().ido.clear();
+        assert!(h.finalize_ready(None).is_empty());
+        // Now empty a's too: both finalize, oldest first.
+        h.get_mut(a).unwrap().ido.clear();
+        let done = h.finalize_ready(None);
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[0].0, a);
+        assert_eq!(done[1].0, b);
+        assert!(h.fully_definite());
+    }
+
+    #[test]
+    fn finalize_respects_rollback_floor() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        h.get_mut(a).unwrap().ido.clear();
+        // A pending rollback at or below a's index dooms it.
+        assert!(h.finalize_ready(Some(a.index())).is_empty());
+        assert_eq!(h.finalize_ready(None).len(), 1);
+    }
+
+    #[test]
+    fn finalize_drains_iha_ihd() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        {
+            let rec = h.get_mut(a).unwrap();
+            rec.ido.clear();
+            rec.iha.insert(aid(5));
+            rec.ihd.insert(aid(6));
+        }
+        let done = h.finalize_ready(None);
+        assert_eq!(done.len(), 1);
+        let (_, iha, ihd) = &done[0];
+        assert!(iha.contains(&aid(5)));
+        assert!(ihd.contains(&aid(6)));
+        assert!(h.get(a).unwrap().iha.is_empty(), "sets drained");
+    }
+
+    #[test]
+    fn current_deps_is_cumulative_tag() {
+        let mut h = History::new(pid(1));
+        assert!(h.current_deps().is_empty());
+        h.open_interval(IntervalOrigin::ImplicitReceive { op: 0 }, [aid(1), aid(2)]);
+        assert_eq!(h.current_deps().len(), 2);
+    }
+}

@@ -1,0 +1,147 @@
+//! Shared counters describing a HOPE execution.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters shared by every HOPElib instance and AID actor of one
+/// [`HopeEnv`](crate::HopeEnv). Cheap to clone via `Arc`; read with
+/// [`HopeMetrics::snapshot`].
+#[derive(Debug, Default)]
+pub struct HopeMetrics {
+    /// Explicit `guess` primitives executed (live, not replayed).
+    pub guesses: AtomicU64,
+    /// Implicit guesses performed by receiving tagged messages.
+    pub implicit_guesses: AtomicU64,
+    /// `affirm` primitives executed.
+    pub affirms: AtomicU64,
+    /// `deny` primitives executed.
+    pub denies: AtomicU64,
+    /// `free_of` primitives executed.
+    pub free_ofs: AtomicU64,
+    /// Intervals rolled back.
+    pub rollbacks: AtomicU64,
+    /// Process re-executions triggered by rollbacks.
+    pub reexecutions: AtomicU64,
+    /// Operations replayed from logs during re-execution.
+    pub replayed_ops: AtomicU64,
+    /// Intervals finalized (made definite).
+    pub finalized_intervals: AtomicU64,
+    /// Rollback messages that arrived for already-definite intervals
+    /// (ignored; see DESIGN.md on the finalize commit point).
+    pub late_rollbacks: AtomicU64,
+    /// `affirm`/`deny` applied to already-final AIDs (the paper's "user
+    /// error" aborts, reported instead of aborting).
+    pub aid_contract_violations: AtomicU64,
+    /// Dependencies discarded by Algorithm 2's UDO cycle detection.
+    pub cycles_broken: AtomicU64,
+    /// AID processes garbage-collected by reference counting.
+    pub aids_collected: AtomicU64,
+}
+
+/// A plain-value copy of [`HopeMetrics`] at one instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// See [`HopeMetrics::guesses`].
+    pub guesses: u64,
+    /// See [`HopeMetrics::implicit_guesses`].
+    pub implicit_guesses: u64,
+    /// See [`HopeMetrics::affirms`].
+    pub affirms: u64,
+    /// See [`HopeMetrics::denies`].
+    pub denies: u64,
+    /// See [`HopeMetrics::free_ofs`].
+    pub free_ofs: u64,
+    /// See [`HopeMetrics::rollbacks`].
+    pub rollbacks: u64,
+    /// See [`HopeMetrics::reexecutions`].
+    pub reexecutions: u64,
+    /// See [`HopeMetrics::replayed_ops`].
+    pub replayed_ops: u64,
+    /// See [`HopeMetrics::finalized_intervals`].
+    pub finalized_intervals: u64,
+    /// See [`HopeMetrics::late_rollbacks`].
+    pub late_rollbacks: u64,
+    /// See [`HopeMetrics::aid_contract_violations`].
+    pub aid_contract_violations: u64,
+    /// See [`HopeMetrics::cycles_broken`].
+    pub cycles_broken: u64,
+    /// See [`HopeMetrics::aids_collected`].
+    pub aids_collected: u64,
+}
+
+impl HopeMetrics {
+    /// Fresh zeroed metrics.
+    pub fn new() -> Self {
+        HopeMetrics::default()
+    }
+
+    /// Copies every counter at once.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            guesses: self.guesses.load(Ordering::Relaxed),
+            implicit_guesses: self.implicit_guesses.load(Ordering::Relaxed),
+            affirms: self.affirms.load(Ordering::Relaxed),
+            denies: self.denies.load(Ordering::Relaxed),
+            free_ofs: self.free_ofs.load(Ordering::Relaxed),
+            rollbacks: self.rollbacks.load(Ordering::Relaxed),
+            reexecutions: self.reexecutions.load(Ordering::Relaxed),
+            replayed_ops: self.replayed_ops.load(Ordering::Relaxed),
+            finalized_intervals: self.finalized_intervals.load(Ordering::Relaxed),
+            late_rollbacks: self.late_rollbacks.load(Ordering::Relaxed),
+            aid_contract_violations: self.aid_contract_violations.load(Ordering::Relaxed),
+            cycles_broken: self.cycles_broken.load(Ordering::Relaxed),
+            aids_collected: self.aids_collected.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "guesses={} (implicit={}) affirms={} denies={} free_ofs={}",
+            self.guesses, self.implicit_guesses, self.affirms, self.denies, self.free_ofs
+        )?;
+        writeln!(
+            f,
+            "rollbacks={} reexecutions={} replayed_ops={} finalized={}",
+            self.rollbacks, self.reexecutions, self.replayed_ops, self.finalized_intervals
+        )?;
+        write!(
+            f,
+            "late_rollbacks={} violations={} cycles_broken={} aids_collected={}",
+            self.late_rollbacks,
+            self.aid_contract_violations,
+            self.cycles_broken,
+            self.aids_collected
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = HopeMetrics::new();
+        m.guesses.fetch_add(3, Ordering::Relaxed);
+        m.rollbacks.fetch_add(1, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.guesses, 3);
+        assert_eq!(s.rollbacks, 1);
+        assert_eq!(s.affirms, 0);
+    }
+
+    #[test]
+    fn display_mentions_key_counters() {
+        let s = MetricsSnapshot {
+            guesses: 2,
+            rollbacks: 5,
+            ..Default::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("guesses=2"));
+        assert!(text.contains("rollbacks=5"));
+    }
+}

@@ -1,0 +1,110 @@
+//! The HOPE environment on the wall-clock threaded runtime.
+//!
+//! Same programming model as [`HopeEnv`](crate::HopeEnv), but user
+//! processes run as genuinely concurrent OS threads, `compute` really
+//! sleeps, and network latency elapses in wall time. Used to validate
+//! that the algorithm — wait-freedom included — does not depend on the
+//! simulator's cooperative scheduling.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use hope_runtime::{NetworkConfig, RunReport, ThreadedRuntime};
+use hope_types::ProcessId;
+
+use crate::config::HopeConfig;
+use crate::ctx::ProcessCtx;
+use crate::env::make_user_process;
+use crate::metrics::{HopeMetrics, MetricsSnapshot};
+
+/// Builds a [`ThreadedHopeEnv`].
+#[derive(Debug)]
+pub struct ThreadedHopeEnvBuilder {
+    seed: u64,
+    network: NetworkConfig,
+    config: HopeConfig,
+}
+
+impl Default for ThreadedHopeEnvBuilder {
+    fn default() -> Self {
+        ThreadedHopeEnvBuilder {
+            seed: 0,
+            network: NetworkConfig::local(),
+            config: HopeConfig::new(),
+        }
+    }
+}
+
+impl ThreadedHopeEnvBuilder {
+    /// Seed for per-process RNGs and stochastic latency.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Network latency, applied in wall time (keep it small in tests).
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Algorithm configuration.
+    pub fn config(mut self, config: HopeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Builds and starts the environment.
+    pub fn build(self) -> ThreadedHopeEnv {
+        ThreadedHopeEnv {
+            rt: ThreadedRuntime::builder()
+                .seed(self.seed)
+                .network(self.network)
+                .build(),
+            config: self.config,
+            metrics: Arc::new(HopeMetrics::new()),
+        }
+    }
+}
+
+/// A HOPE environment running on [`ThreadedRuntime`]: real threads, real
+/// time. Processes start executing as soon as they are spawned.
+pub struct ThreadedHopeEnv {
+    rt: ThreadedRuntime,
+    config: HopeConfig,
+    metrics: Arc<HopeMetrics>,
+}
+
+impl ThreadedHopeEnv {
+    /// Starts configuring an environment.
+    pub fn builder() -> ThreadedHopeEnvBuilder {
+        ThreadedHopeEnvBuilder::default()
+    }
+
+    /// Spawns a HOPE user process (it begins running immediately).
+    pub fn spawn_user<F>(&self, name: &str, body: F) -> ProcessId
+    where
+        F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
+    {
+        let (_lib, control, runner) =
+            make_user_process(self.config, self.metrics.clone(), Box::new(body));
+        self.rt.spawn_threaded(name, Some(control), runner)
+    }
+
+    /// Waits until the system has been quiescent for `grace` (or
+    /// `timeout` elapses) and reports. `hit_event_limit` in the report
+    /// means the timeout fired first.
+    pub fn run_until_quiescent(&self, grace: Duration, timeout: Duration) -> RunReport {
+        self.rt.run_until_quiescent(grace, timeout)
+    }
+
+    /// HOPE metrics so far.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The underlying runtime.
+    pub fn runtime(&self) -> &ThreadedRuntime {
+        &self.rt
+    }
+}

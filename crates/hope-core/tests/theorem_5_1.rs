@@ -1,0 +1,217 @@
+//! Property-based tests of Theorem 5.1: "For all intervals B, finalize(B)
+//! occurs iff affirm(X) is applied to all of the AIDs X ∈ B.IDO by
+//! intervals that eventually become definite."
+//!
+//! Random programs: one coordinator creates M assumptions, each randomly
+//! planned to be affirmed or denied by a definite resolver; N guesser
+//! processes each guess a random subsequence. After quiescence:
+//!
+//! * every guess's final outcome equals the plan (affirmed → `true`,
+//!   denied → `false`),
+//! * every process's history is fully definite (no interval finalizes
+//!   without its assumptions affirmed, none is left behind when they are),
+//! * the run is deterministic for a fixed seed.
+
+use std::sync::{Arc, Mutex};
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use hope_core::HopeEnv;
+use hope_runtime::NetworkConfig;
+use hope_types::{AidId, ProcessId, VirtualDuration};
+use proptest::prelude::*;
+
+fn encode_aids(aids: &[AidId]) -> Bytes {
+    let mut out = Vec::with_capacity(aids.len() * 8);
+    for aid in aids {
+        out.extend_from_slice(&aid.process().as_raw().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_aids(data: &[u8]) -> Vec<AidId> {
+    data.chunks_exact(8)
+        .map(|c| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(c);
+            AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(raw)))
+        })
+        .collect()
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Per-assumption plan: true = affirm, false = deny.
+    plan: Vec<bool>,
+    /// Per-guesser: indices of the assumptions it guesses, in order.
+    guessers: Vec<Vec<usize>>,
+    /// Per-assumption resolution delay in microseconds.
+    delays: Vec<u64>,
+    seed: u64,
+}
+
+fn scenario_strategy() -> impl Strategy<Value = Scenario> {
+    (1usize..=4, 1usize..=4, any::<u64>()).prop_flat_map(|(n_aids, n_guessers, seed)| {
+        let plan = proptest::collection::vec(any::<bool>(), n_aids);
+        let guessers = proptest::collection::vec(
+            proptest::collection::vec(0..n_aids, 0..=n_aids.min(3)),
+            n_guessers,
+        );
+        let delays = proptest::collection::vec(0u64..5_000, n_aids);
+        (plan, guessers, delays).prop_map(move |(plan, guessers, delays)| Scenario {
+            plan,
+            guessers,
+            delays,
+            seed,
+        })
+    })
+}
+
+/// Runs the scenario; returns (per-guesser final outcomes keyed by
+/// assumption index, speculative process names, event count).
+fn run_scenario(sc: &Scenario) -> (Vec<BTreeMap<usize, bool>>, Vec<String>, u64) {
+    let mut env = HopeEnv::builder()
+        .seed(sc.seed)
+        .network(NetworkConfig::uniform(
+            VirtualDuration::from_micros(20),
+            VirtualDuration::from_micros(200),
+        ))
+        .build();
+
+    // Outcome records: guesser index -> (assumption index -> last outcome).
+    let outcomes: Arc<Mutex<Vec<BTreeMap<usize, bool>>>> =
+        Arc::new(Mutex::new(vec![BTreeMap::new(); sc.guessers.len()]));
+
+    // Guessers receive the AID list, then guess their plan in order.
+    let mut guesser_pids = Vec::new();
+    for (gi, picks) in sc.guessers.iter().cloned().enumerate() {
+        let outcomes = outcomes.clone();
+        let pid = env.spawn_user(&format!("guesser-{gi}"), move |ctx| {
+            let m = ctx.receive(None);
+            let aids = decode_aids(&m.data);
+            for &k in &picks {
+                let result = ctx.guess(aids[k]);
+                if !ctx.is_replaying() {
+                    outcomes.lock().unwrap()[gi].insert(k, result);
+                }
+                ctx.compute(VirtualDuration::from_micros(50));
+            }
+        });
+        guesser_pids.push(pid);
+    }
+
+    // The resolver receives the AID list and resolves each per plan after
+    // its delay; it never guesses, so its affirms/denies are definite.
+    let plan = sc.plan.clone();
+    let delays = sc.delays.clone();
+    let resolver = env.spawn_user("resolver", move |ctx| {
+        let m = ctx.receive(None);
+        let aids = decode_aids(&m.data);
+        for (k, aid) in aids.iter().enumerate() {
+            ctx.compute(VirtualDuration::from_micros(delays[k]));
+            if plan[k] {
+                ctx.affirm(*aid);
+            } else {
+                ctx.deny(*aid);
+            }
+        }
+    });
+
+    // The coordinator creates all AIDs and distributes them.
+    let n_aids = sc.plan.len();
+    env.spawn_user("coordinator", move |ctx| {
+        let aids: Vec<AidId> = (0..n_aids).map(|_| ctx.aid_init()).collect();
+        let payload = encode_aids(&aids);
+        ctx.send(resolver, 0, payload.clone());
+        for &g in &guesser_pids {
+            ctx.send(g, 0, payload.clone());
+        }
+    });
+
+    let report = env.run();
+    assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+    assert!(!report.run.hit_event_limit, "run must converge");
+    let spec = env
+        .speculative_processes()
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+    let outcomes = outcomes.lock().unwrap().clone();
+    (outcomes, spec, report.run.events)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn finalization_matches_resolution_plan(sc in scenario_strategy()) {
+        let (outcomes, speculative, _) = run_scenario(&sc);
+        // Theorem 5.1, observable form: each guess eventually settles to
+        // the planned resolution, and nothing stays speculative.
+        prop_assert!(speculative.is_empty(),
+            "every interval must finalize or roll back: {speculative:?}");
+        for (gi, picks) in sc.guessers.iter().enumerate() {
+            for &k in picks {
+                let got = outcomes[gi].get(&k).copied();
+                prop_assert_eq!(
+                    got, Some(sc.plan[k]),
+                    "guesser {} assumption {} plan {} got {:?}",
+                    gi, k, sc.plan[k], got
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn runs_are_deterministic(sc in scenario_strategy()) {
+        let (o1, s1, e1) = run_scenario(&sc);
+        let (o2, s2, e2) = run_scenario(&sc);
+        prop_assert_eq!(o1, o2);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(e1, e2);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mutual-affirm rings of size 2..=5 (generalizing Figure 13):
+    /// Algorithm 2 must always terminate with every interval finalized.
+    #[test]
+    fn affirm_rings_always_converge(n in 2usize..=5, seed in any::<u64>()) {
+        let mut env = HopeEnv::builder()
+            .seed(seed)
+            .network(NetworkConfig::uniform(
+                VirtualDuration::from_micros(20),
+                VirtualDuration::from_micros(100),
+            ))
+            .build();
+        // Process i guesses AID i and affirms AID (i+1) mod n: a cycle of
+        // size n forms when all act concurrently.
+        let mut pids = Vec::new();
+        for i in 0..n {
+            let pid = env.spawn_user(&format!("ring-{i}"), move |ctx| {
+                let m = ctx.receive(None);
+                let aids = decode_aids(&m.data);
+                let mine = aids[i];
+                let next = aids[(i + 1) % aids.len()];
+                if ctx.guess(mine) {
+                    ctx.affirm(next);
+                }
+            });
+            pids.push(pid);
+        }
+        env.spawn_user("coordinator", move |ctx| {
+            let aids: Vec<AidId> = (0..n).map(|_| ctx.aid_init()).collect();
+            let payload = encode_aids(&aids);
+            for &p in &pids {
+                ctx.send(p, 0, payload.clone());
+            }
+        });
+        let report = env.run();
+        prop_assert!(report.run.panics.is_empty());
+        prop_assert!(!report.run.hit_event_limit, "ring of {} must not bounce forever", n);
+        prop_assert!(report.run.blocked.is_empty(),
+            "ring of {} must fully finalize; blocked: {:?}", n, report.run.blocked);
+    }
+}

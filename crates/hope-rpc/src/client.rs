@@ -1,0 +1,34 @@
+//! Synchronous RPC — the baseline the paper's optimism beats.
+
+use bytes::Bytes;
+use hope_core::ProcessCtx;
+use hope_types::ProcessId;
+
+use crate::wire::{encode_request, CHANNEL_REQUEST};
+
+/// Synchronous remote procedure calls (the paper's Figure 1 behaviour:
+/// "the calling process is idle until it gets a response").
+#[derive(Debug, Clone, Copy)]
+pub struct RpcClient;
+
+impl RpcClient {
+    /// Calls `method` on `server` and blocks until the reply arrives,
+    /// paying the full network round trip plus service time.
+    pub fn call(
+        ctx: &mut ProcessCtx<'_>,
+        server: ProcessId,
+        method: u32,
+        body: Bytes,
+    ) -> Bytes {
+        let reply_channel = fresh_reply_channel(ctx);
+        ctx.send(server, CHANNEL_REQUEST, encode_request(method, reply_channel, &body));
+        let reply = ctx.receive(Some(reply_channel));
+        reply.data
+    }
+}
+
+/// Allocates a reply channel in the private range. Drawn through the
+/// context's logged randomness, so it is stable across rollback replay.
+pub(crate) fn fresh_reply_channel(ctx: &mut ProcessCtx<'_>) -> u32 {
+    0x8000_0000 | (ctx.random() as u32 & 0x7fff_ffff)
+}

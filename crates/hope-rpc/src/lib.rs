@@ -1,0 +1,74 @@
+//! # hope-rpc — RPC and optimistic call streaming
+//!
+//! The HOPE paper's motivating example (§3.1) is remote procedure call
+//! latency: "a 100 MIPS CPU can execute over 3 million instructions while
+//! waiting for a response from the opposite coast". This crate provides
+//! both sides of that comparison on top of [`hope_core`]:
+//!
+//! * [`RpcClient::call`] — ordinary **synchronous RPC**: send the request,
+//!   block for the reply, pay the full round trip (the paper's Figure 1).
+//! * [`StreamingClient::call`] — **optimistic call streaming** (the
+//!   paper's Figure 2, after Bacon & Strom): send the request, *predict*
+//!   the reply, and keep computing speculatively. A spawned *WorryWart*
+//!   process performs the real call and `affirm`s or `deny`s the
+//!   prediction; a wrong prediction rolls the caller back to the
+//!   [`ReplyPromise::redeem`] point, where the true reply is used instead.
+//!
+//! Servers are ordinary HOPE processes ([`RpcServer::serve`]); because
+//! requests carry dependency tags, a server that handles a speculative
+//! request becomes speculative itself and is rolled back automatically if
+//! the speculation dies — no server code is aware of any of this.
+//!
+//! # Examples
+//!
+//! A squaring server called both ways:
+//!
+//! ```
+//! use bytes::Bytes;
+//! use hope_core::HopeEnv;
+//! use hope_rpc::{RpcClient, RpcServer, StreamingClient};
+//! use std::sync::{Arc, Mutex};
+//!
+//! let mut env = HopeEnv::builder().seed(9).build();
+//! let server = env.spawn_user("squarer", |ctx| {
+//!     RpcServer::serve(ctx, |_ctx, _method, body| {
+//!         let x = body[0] as u16;
+//!         Bytes::from(vec![(x * x) as u8])
+//!     });
+//! });
+//! let results = Arc::new(Mutex::new(Vec::new()));
+//! let out = results.clone();
+//! env.spawn_user("client", move |ctx| {
+//!     // Synchronous: waits a full round trip.
+//!     let r = RpcClient::call(ctx, server, 0, Bytes::from_static(&[3]));
+//!     out.lock().unwrap().push(r[0]);
+//!     // Streaming with a correct prediction: no waiting at all.
+//!     let promise = StreamingClient::call(
+//!         ctx, server, 0, Bytes::from_static(&[4]), Bytes::from_static(&[16]));
+//!     let (reply, predicted) = promise.redeem(ctx);
+//!     assert!(predicted);
+//!     out.lock().unwrap().push(reply[0]);
+//!     RpcServer::stop(ctx, server);
+//! });
+//! let report = env.run();
+//! assert!(report.is_clean());
+//! assert_eq!(results.lock().unwrap().as_slice(), &[9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod predictor;
+mod server;
+mod streaming;
+mod wire;
+
+pub use client::RpcClient;
+pub use predictor::{
+    CallOutcome, ConstantPredictor, FunctionPredictor, LastValuePredictor, PredictiveClient,
+    Predictor,
+};
+pub use server::RpcServer;
+pub use streaming::{ReplyPromise, StreamingClient};
+pub use wire::{Request, CHANNEL_REQUEST, METHOD_STOP};

@@ -1,0 +1,52 @@
+//! RPC server loop.
+
+use bytes::Bytes;
+use hope_core::ProcessCtx;
+use hope_types::ProcessId;
+
+use crate::wire::{decode_request, encode_request, Request, CHANNEL_REQUEST, METHOD_STOP};
+
+/// Helpers for writing RPC server processes.
+///
+/// A server is an ordinary HOPE user process whose body calls
+/// [`RpcServer::serve`] with a handler. Because requests arrive as tagged
+/// messages, handling a speculative request makes the server speculative;
+/// HOPE rolls it back (re-executing the loop deterministically) if the
+/// speculation dies. Server-local state therefore belongs *inside* the
+/// body closure, where replay rebuilds it faithfully.
+#[derive(Debug, Clone, Copy)]
+pub struct RpcServer;
+
+impl RpcServer {
+    /// Runs the request loop until a [`METHOD_STOP`] request arrives.
+    ///
+    /// The handler receives the context (for `compute`, nested calls or
+    /// further HOPE primitives), the method id and the request body, and
+    /// returns the reply payload.
+    pub fn serve<F>(ctx: &mut ProcessCtx<'_>, mut handler: F)
+    where
+        F: FnMut(&mut ProcessCtx<'_>, u32, &Bytes) -> Bytes,
+    {
+        loop {
+            let delivery = ctx.receive(Some(CHANNEL_REQUEST));
+            let Some(Request {
+                method,
+                reply_channel,
+                body,
+            }) = decode_request(&delivery.data)
+            else {
+                continue; // malformed frame: drop
+            };
+            if method == METHOD_STOP {
+                return;
+            }
+            let reply = handler(ctx, method, &body);
+            ctx.send(delivery.src, reply_channel, reply);
+        }
+    }
+
+    /// Sends the stop request that makes [`RpcServer::serve`] return.
+    pub fn stop(ctx: &mut ProcessCtx<'_>, server: ProcessId) {
+        ctx.send(server, CHANNEL_REQUEST, encode_request(METHOD_STOP, 0, b""));
+    }
+}

@@ -1,0 +1,140 @@
+//! Optimistic call streaming — the paper's Figure 2.
+//!
+//! `StreamingClient::call` transforms a synchronous RPC into the paper's
+//! Worker/WorryWart pair:
+//!
+//! * the **caller** (Worker) gets a [`ReplyPromise`] immediately and keeps
+//!   computing; [`ReplyPromise::redeem`] `guess`es the prediction and
+//!   returns the predicted reply without waiting;
+//! * a spawned **WorryWart** process performs the real synchronous call,
+//!   forwards the true reply to the caller, and `affirm`s the prediction
+//!   if it matched or `deny`s it otherwise — rolling the caller (and every
+//!   transitive dependent) back to the `redeem` point, where the true
+//!   reply is consumed instead.
+//!
+//! [`StreamingClient::call_with_order`] adds the paper's *Order*
+//! assumption: when the caller keeps talking to the same server while the
+//! WorryWart's call is in flight, the WorryWart executes
+//! `free_of(order)` to detect the §3.1 causality violation (a later
+//! message overtaking the verified call) and force corrective rollbacks.
+
+use bytes::Bytes;
+use hope_core::ProcessCtx;
+use hope_types::{AidId, ProcessId};
+
+use crate::client::{fresh_reply_channel, RpcClient};
+
+/// Issues optimistic streamed calls. See the crate docs for the model.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingClient;
+
+/// The pending result of a streamed call. Redeem it where the value is
+/// needed; everything between the call and the redeem runs in parallel
+/// with the network round trip.
+#[derive(Debug)]
+#[must_use = "a streamed call does nothing until redeemed"]
+pub struct ReplyPromise {
+    aid: AidId,
+    reply_channel: u32,
+    predicted: Bytes,
+}
+
+impl StreamingClient {
+    /// Streams a call: returns immediately with a [`ReplyPromise`] for
+    /// `predicted`. A WorryWart process verifies the prediction against
+    /// the real reply.
+    pub fn call(
+        ctx: &mut ProcessCtx<'_>,
+        server: ProcessId,
+        method: u32,
+        body: Bytes,
+        predicted: Bytes,
+    ) -> ReplyPromise {
+        Self::spawn_worrywart(ctx, server, method, body, predicted, None)
+    }
+
+    /// Streams a call that must stay *ordered* with respect to later
+    /// traffic the caller sends to the same server. The caller should
+    /// `guess(order)` before issuing any such later traffic (tagging it),
+    /// and the WorryWart will `free_of(order)` after its verification call
+    /// — denying `order` (and rolling the overtaking traffic back) if the
+    /// causality violation of §3.1 occurred.
+    pub fn call_with_order(
+        ctx: &mut ProcessCtx<'_>,
+        server: ProcessId,
+        method: u32,
+        body: Bytes,
+        predicted: Bytes,
+        order: AidId,
+    ) -> ReplyPromise {
+        Self::spawn_worrywart(ctx, server, method, body, predicted, Some(order))
+    }
+
+    fn spawn_worrywart(
+        ctx: &mut ProcessCtx<'_>,
+        server: ProcessId,
+        method: u32,
+        body: Bytes,
+        predicted: Bytes,
+        order: Option<AidId>,
+    ) -> ReplyPromise {
+        let aid = ctx.aid_init();
+        let reply_channel = fresh_reply_channel(ctx);
+        let caller = ctx.pid();
+        let expected = predicted.clone();
+        ctx.spawn_user("worrywart", move |wctx| {
+            let reply = RpcClient::call(wctx, server, method, body.clone());
+            // Forward the true reply for the caller's pessimistic path.
+            // If our call was answered speculatively, the forward carries
+            // our dependency tag, keeping the caller's rollback chain
+            // intact transitively.
+            wctx.send(caller, reply_channel, reply.clone());
+            if let Some(order) = order {
+                // §3.1: did a later message overtake our call at the
+                // server? free_of denies `order` if we picked up a
+                // dependency on it through the reply.
+                let _ = wctx.free_of(order);
+            }
+            if reply == expected {
+                wctx.affirm(aid);
+            } else {
+                wctx.deny(aid);
+            }
+        });
+        ReplyPromise {
+            aid,
+            reply_channel,
+            predicted,
+        }
+    }
+}
+
+impl ReplyPromise {
+    /// The assumption identifier guarding this prediction (exposed so
+    /// callers can build further HOPE logic on it).
+    pub fn aid(&self) -> AidId {
+        self.aid
+    }
+
+    /// Consumes the promise where the reply value is needed.
+    ///
+    /// Optimistically returns `(predicted, true)` at once. If the
+    /// WorryWart later denies the prediction, the caller rolls back to
+    /// this point and the call instead blocks for the true reply,
+    /// returning `(actual, false)`.
+    pub fn redeem(self, ctx: &mut ProcessCtx<'_>) -> (Bytes, bool) {
+        if ctx.guess(self.aid) {
+            (self.predicted, true)
+        } else {
+            let delivery = ctx.receive(Some(self.reply_channel));
+            (delivery.data, false)
+        }
+    }
+
+    /// Like [`ReplyPromise::redeem`], but never uses the prediction: waits
+    /// for the true reply (useful as a pessimistic control in benchmarks).
+    pub fn redeem_actual(self, ctx: &mut ProcessCtx<'_>) -> Bytes {
+        let delivery = ctx.receive(Some(self.reply_channel));
+        delivery.data
+    }
+}

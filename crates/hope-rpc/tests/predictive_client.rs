@@ -1,0 +1,131 @@
+//! End-to-end tests for the predictive streaming client: learning caches,
+//! fallback to sync, and correctness under mispredictions.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use hope_core::HopeEnv;
+use hope_rpc::{
+    CallOutcome, FunctionPredictor, LastValuePredictor, PredictiveClient, RpcServer,
+};
+use hope_runtime::NetworkConfig;
+use hope_types::VirtualDuration;
+
+/// A server whose reply for method m is [m + generation], where the
+/// generation bumps on method 99 — lets tests invalidate caches.
+fn spawn_server(env: &mut HopeEnv) -> hope_types::ProcessId {
+    env.spawn_user("server", |ctx| {
+        let mut generation = 0u8;
+        RpcServer::serve(ctx, move |ctx, method, _body| {
+            ctx.compute(VirtualDuration::from_micros(10));
+            if method == 99 {
+                generation += 1;
+            }
+            Bytes::from(vec![(method as u8).wrapping_add(generation)])
+        });
+    })
+}
+
+#[test]
+fn last_value_cache_warms_up_then_streams() {
+    let mut env = HopeEnv::builder()
+        .seed(1)
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(5)))
+        .build();
+    let server = spawn_server(&mut env);
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    let o = outcomes.clone();
+    env.spawn_user("client", move |ctx| {
+        let mut client = PredictiveClient::new(server, LastValuePredictor::new());
+        let mut seen = Vec::new();
+        // Cold: synchronous. Then warm: predicted, wait-free.
+        for _ in 0..3 {
+            let (reply, outcome) = client.call(ctx, 7, Bytes::new());
+            seen.push((reply[0], outcome));
+        }
+        if !ctx.is_replaying() {
+            *o.lock().unwrap() = seen.clone();
+        }
+    });
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    let seen = outcomes.lock().unwrap().clone();
+    assert_eq!(
+        seen,
+        vec![
+            (7, CallOutcome::Synchronous),
+            (7, CallOutcome::Predicted),
+            (7, CallOutcome::Predicted),
+        ]
+    );
+}
+
+#[test]
+fn stale_cache_mispredicts_then_recovers() {
+    let mut env = HopeEnv::builder()
+        .seed(2)
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(5)))
+        .build();
+    let server = spawn_server(&mut env);
+    let outcomes = Arc::new(Mutex::new(Vec::new()));
+    let o = outcomes.clone();
+    env.spawn_user("client", move |ctx| {
+        let mut client = PredictiveClient::new(server, LastValuePredictor::new());
+        let mut seen = Vec::new();
+        let (r1, o1) = client.call(ctx, 7, Bytes::new()); // sync: 7
+        let (_, _) = client.call(ctx, 99, Bytes::new()); // bump generation
+        let (r2, o2) = client.call(ctx, 7, Bytes::new()); // stale cache: 7 ≠ 8
+        let (r3, o3) = client.call(ctx, 7, Bytes::new()); // learned: 8
+        seen.push((r1[0], o1));
+        seen.push((r2[0], o2));
+        seen.push((r3[0], o3));
+        if !ctx.is_replaying() {
+            *o.lock().unwrap() = seen.clone();
+        }
+    });
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    let seen = outcomes.lock().unwrap().clone();
+    assert_eq!(seen[0], (7, CallOutcome::Synchronous));
+    assert_eq!(
+        seen[1],
+        (8, CallOutcome::Mispredicted),
+        "stale prediction must roll back and yield the true reply"
+    );
+    assert_eq!(seen[2], (8, CallOutcome::Predicted), "cache re-learned");
+    assert!(report.hope.rollbacks >= 1);
+}
+
+#[test]
+fn function_predictor_streams_from_the_first_call() {
+    let mut env = HopeEnv::builder()
+        .seed(3)
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(5)))
+        .build();
+    let server = spawn_server(&mut env);
+    let outcomes = Arc::new(Mutex::new(None));
+    let o = outcomes.clone();
+    env.spawn_user("client", move |ctx| {
+        // The application knows the server's function exactly.
+        let model = FunctionPredictor::new(|method: u32, _body: &Bytes| {
+            Some(Bytes::from(vec![method as u8]))
+        });
+        let mut client = PredictiveClient::new(server, model);
+        let start = ctx.now();
+        let (reply, outcome) = client.call(ctx, 5, Bytes::new());
+        let elapsed = ctx.now() - start;
+        if !ctx.is_replaying() {
+            *o.lock().unwrap() = Some((reply[0], outcome, elapsed));
+        }
+    });
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    let (value, outcome, elapsed) = outcomes.lock().unwrap().unwrap();
+    assert_eq!(value, 5);
+    assert_eq!(outcome, CallOutcome::Predicted);
+    assert_eq!(
+        elapsed,
+        VirtualDuration::ZERO,
+        "a perfect model makes every call wait-free"
+    );
+}

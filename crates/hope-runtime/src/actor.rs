@@ -1,0 +1,52 @@
+//! Event-driven actor processes.
+//!
+//! The paper's AID processes are state machines that "loop forever
+//! processing messages" (Figure 5). They never block on anything other than
+//! their mailbox, so they need no thread: the scheduler invokes
+//! [`Actor::on_message`] inline for every delivery.
+
+use hope_types::{Envelope, Payload, ProcessId, VirtualTime};
+
+/// Facilities available to an [`Actor`] while it handles a message.
+pub trait ActorApi {
+    /// The actor's own process id.
+    fn pid(&self) -> ProcessId;
+
+    /// Current virtual time.
+    fn now(&self) -> VirtualTime;
+
+    /// Sends `payload` to `dst` asynchronously.
+    fn send(&mut self, dst: ProcessId, payload: Payload);
+
+    /// Requests termination of this actor after the current message:
+    /// the runtime removes the process and drops subsequent deliveries
+    /// (used by AID garbage collection).
+    fn stop(&mut self);
+}
+
+/// An event-driven process: a state machine advanced by message deliveries.
+///
+/// Used for the AID processes of the HOPE algorithm (one per assumption
+/// identifier) and for simple service processes in tests and workloads.
+pub trait Actor: Send {
+    /// Handles one delivered message. `api` allows replies and further
+    /// sends; all sends are asynchronous.
+    fn on_message(&mut self, envelope: Envelope, api: &mut dyn ActorApi);
+
+    /// Short human-readable description used in traces.
+    fn describe(&self) -> String {
+        "actor".to_string()
+    }
+}
+
+/// A trivial actor that drops every message; useful as a sink in tests.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullActor;
+
+impl Actor for NullActor {
+    fn on_message(&mut self, _envelope: Envelope, _api: &mut dyn ActorApi) {}
+
+    fn describe(&self) -> String {
+        "null".to_string()
+    }
+}

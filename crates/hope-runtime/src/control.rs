@@ -1,0 +1,47 @@
+//! Interception of HOPE protocol messages: the paper's `Control` hook.
+//!
+//! In Figure 3 of the paper, messages from AID processes to user processes
+//! "are intercepted by the message passing system and given to the HOPElib
+//! attached to each user process for processing". A [`ControlHandler`]
+//! registered at [`SimRuntime::spawn_threaded`](crate::SimRuntime::spawn_threaded)
+//! plays that role: every [`HopeMessage`] addressed to the process is routed
+//! to the handler (on the scheduler, never blocking the user thread), and
+//! the handler may send further messages and wake the process if it is
+//! blocked in `receive` (so a rollback can interrupt it).
+
+use hope_types::{HopeMessage, Payload, ProcessId, VirtualTime};
+
+/// Facilities available to a [`ControlHandler`] while it processes a
+/// message.
+pub trait ControlApi {
+    /// The user process this handler is attached to.
+    fn pid(&self) -> ProcessId;
+
+    /// Current virtual time.
+    fn now(&self) -> VirtualTime;
+
+    /// Sends `payload` (on behalf of the attached process) to `dst`.
+    fn send(&mut self, dst: ProcessId, payload: Payload);
+
+    /// Requests that the attached process be woken if it is blocked in
+    /// `receive`, so that its interrupt predicate runs (used to deliver
+    /// rollbacks to blocked processes).
+    fn wake(&mut self);
+}
+
+/// The HOPElib `Control` function: handles HOPE protocol messages addressed
+/// to a threaded user process.
+pub trait ControlHandler: Send {
+    /// Processes one HOPE message sent by `src` (an AID process, or a user
+    /// process forwarding bookkeeping).
+    fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi);
+}
+
+/// A handler that ignores every control message; useful for raw-runtime
+/// tests that do not involve HOPE bookkeeping.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullControl;
+
+impl ControlHandler for NullControl {
+    fn on_hope_message(&mut self, _src: ProcessId, _msg: HopeMessage, _api: &mut dyn ControlApi) {}
+}

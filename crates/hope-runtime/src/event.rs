@@ -1,0 +1,135 @@
+//! The virtual-time event queue.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hope_types::{Envelope, ProcessId, VirtualTime};
+
+/// What happens when an event fires.
+#[derive(Debug)]
+pub(crate) enum EventKind {
+    /// A message arrives at its destination.
+    Deliver(Envelope),
+    /// A process finishes a compute step (or starts for the first time).
+    Wake(ProcessId),
+}
+
+/// A scheduled event. Ordering is `(time, tie)` where `tie` is a global
+/// monotone counter, which makes pops — and therefore whole runs —
+/// deterministic.
+#[derive(Debug)]
+pub(crate) struct Event {
+    pub time: VirtualTime,
+    pub tie: u64,
+    pub kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.tie == other.tie
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.tie).cmp(&(self.time, self.tie))
+    }
+}
+
+/// Deterministic min-queue of events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_tie: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    pub fn push(&mut self, time: VirtualTime, kind: EventKind) {
+        let tie = self.next_tie;
+        self.next_tie += 1;
+        self.heap.push(Event { time, tie, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Time of the next event without removing it.
+    pub fn peek_time(&self) -> Option<VirtualTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    #[allow(dead_code)] // used by tests and tooling
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)] // used by tests and tooling
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wake(p: u64) -> EventKind {
+        EventKind::Wake(ProcessId::from_raw(p))
+    }
+
+    fn pid_of(kind: &EventKind) -> u64 {
+        match kind {
+            EventKind::Wake(p) => p.as_raw(),
+            EventKind::Deliver(_) => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(VirtualTime::from_nanos(30), wake(3));
+        q.push(VirtualTime::from_nanos(10), wake(1));
+        q.push(VirtualTime::from_nanos(20), wake(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| pid_of(&e.kind))
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = VirtualTime::from_nanos(5);
+        for p in 0..10 {
+            q.push(t, wake(p));
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| pid_of(&e.kind))
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_tracks_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(VirtualTime::ZERO, wake(0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! Network latency models.
+//!
+//! The paper's motivation (§3.1) is communications latency: "it takes 30
+//! milliseconds to send a photon from New York to Los Angeles and back
+//! again". Delivery latency is the quantity HOPE's optimism hides, so the
+//! simulator makes it a first-class, pluggable parameter.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use hope_types::{ProcessId, VirtualDuration, VirtualTime};
+
+/// Computes the delivery latency of each message.
+///
+/// Implementations may be stateful (e.g. seeded jitter). The runtime calls
+/// [`LatencyModel::sample`] exactly once per message, in deterministic
+/// order, so seeded models yield reproducible runs.
+pub trait LatencyModel: Send {
+    /// Latency for a message from `src` to `dst` sent at `now`.
+    fn sample(&mut self, src: ProcessId, dst: ProcessId, now: VirtualTime) -> VirtualDuration;
+}
+
+/// Declarative description of a network, convertible into a boxed
+/// [`LatencyModel`]. This is what runtimes and experiment sweeps configure.
+///
+/// # Examples
+///
+/// ```
+/// use hope_runtime::NetworkConfig;
+/// use hope_types::VirtualDuration;
+///
+/// let wan = NetworkConfig::wan();
+/// let custom = NetworkConfig::constant(VirtualDuration::from_micros(250));
+/// let jittery = NetworkConfig::uniform(
+///     VirtualDuration::from_millis(1),
+///     VirtualDuration::from_millis(5),
+/// );
+/// # let _ = (wan, custom, jittery);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    kind: NetKind,
+    /// Extra per-link overrides applied before the base model.
+    overrides: Vec<(ProcessId, ProcessId, VirtualDuration)>,
+}
+
+#[derive(Debug, Clone)]
+enum NetKind {
+    Constant(VirtualDuration),
+    Uniform {
+        min: VirtualDuration,
+        max: VirtualDuration,
+    },
+}
+
+impl NetworkConfig {
+    /// Every message takes exactly `latency` to deliver.
+    pub fn constant(latency: VirtualDuration) -> Self {
+        NetworkConfig {
+            kind: NetKind::Constant(latency),
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Latency drawn uniformly from `[min, max]` (seeded; deterministic).
+    /// Jitter can reorder messages between different links — the failure
+    /// mode the HOPE algorithm's conflict correction must survive.
+    pub fn uniform(min: VirtualDuration, max: VirtualDuration) -> Self {
+        NetworkConfig {
+            kind: NetKind::Uniform { min, max },
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Same-host IPC: 1 µs.
+    pub fn local() -> Self {
+        NetworkConfig::constant(VirtualDuration::from_micros(1))
+    }
+
+    /// Local-area network: 100 µs.
+    pub fn lan() -> Self {
+        NetworkConfig::constant(VirtualDuration::from_micros(100))
+    }
+
+    /// Wide-area network: 10 ms one-way.
+    pub fn wan() -> Self {
+        NetworkConfig::constant(VirtualDuration::from_millis(10))
+    }
+
+    /// The paper's transcontinental example: a 30 ms round trip, i.e. 15 ms
+    /// one-way.
+    pub fn transcontinental() -> Self {
+        NetworkConfig::constant(VirtualDuration::from_millis(15))
+    }
+
+    /// Overrides the latency of the directed link `src → dst`.
+    pub fn with_link(mut self, src: ProcessId, dst: ProcessId, latency: VirtualDuration) -> Self {
+        self.overrides.push((src, dst, latency));
+        self
+    }
+
+    /// Builds the runnable model. `seed` feeds stochastic models.
+    pub fn into_model(self, seed: u64) -> Box<dyn LatencyModel> {
+        Box::new(ConfiguredModel {
+            rng: StdRng::seed_from_u64(seed ^ 0x6e65_745f_7365_6564),
+            config: self,
+        })
+    }
+}
+
+impl Default for NetworkConfig {
+    /// Defaults to [`NetworkConfig::lan`].
+    fn default() -> Self {
+        NetworkConfig::lan()
+    }
+}
+
+struct ConfiguredModel {
+    rng: StdRng,
+    config: NetworkConfig,
+}
+
+impl LatencyModel for ConfiguredModel {
+    fn sample(&mut self, src: ProcessId, dst: ProcessId, _now: VirtualTime) -> VirtualDuration {
+        for &(s, d, lat) in &self.config.overrides {
+            if s == src && d == dst {
+                return lat;
+            }
+        }
+        match self.config.kind {
+            NetKind::Constant(lat) => lat,
+            NetKind::Uniform { min, max } => {
+                let (lo, hi) = (min.as_nanos(), max.as_nanos());
+                if hi <= lo {
+                    min
+                } else {
+                    VirtualDuration::from_nanos(self.rng.random_range(lo..=hi))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn constant_model_is_constant() {
+        let mut m = NetworkConfig::constant(VirtualDuration::from_millis(3)).into_model(1);
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(p(0), p(1), VirtualTime::ZERO),
+                VirtualDuration::from_millis(3)
+            );
+        }
+    }
+
+    #[test]
+    fn presets_have_expected_magnitudes() {
+        let now = VirtualTime::ZERO;
+        assert_eq!(
+            NetworkConfig::local().into_model(0).sample(p(0), p(1), now),
+            VirtualDuration::from_micros(1)
+        );
+        assert_eq!(
+            NetworkConfig::lan().into_model(0).sample(p(0), p(1), now),
+            VirtualDuration::from_micros(100)
+        );
+        assert_eq!(
+            NetworkConfig::wan().into_model(0).sample(p(0), p(1), now),
+            VirtualDuration::from_millis(10)
+        );
+        assert_eq!(
+            NetworkConfig::transcontinental()
+                .into_model(0)
+                .sample(p(0), p(1), now),
+            VirtualDuration::from_millis(15)
+        );
+    }
+
+    #[test]
+    fn uniform_model_respects_bounds_and_seed() {
+        let cfg = NetworkConfig::uniform(
+            VirtualDuration::from_micros(10),
+            VirtualDuration::from_micros(20),
+        );
+        let mut a = cfg.clone().into_model(7);
+        let mut b = cfg.into_model(7);
+        for _ in 0..100 {
+            let la = a.sample(p(0), p(1), VirtualTime::ZERO);
+            let lb = b.sample(p(0), p(1), VirtualTime::ZERO);
+            assert_eq!(la, lb, "same seed must give same samples");
+            assert!(la >= VirtualDuration::from_micros(10));
+            assert!(la <= VirtualDuration::from_micros(20));
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range_returns_min() {
+        let mut m = NetworkConfig::uniform(
+            VirtualDuration::from_micros(5),
+            VirtualDuration::from_micros(5),
+        )
+        .into_model(0);
+        assert_eq!(
+            m.sample(p(0), p(1), VirtualTime::ZERO),
+            VirtualDuration::from_micros(5)
+        );
+    }
+
+    #[test]
+    fn link_override_wins() {
+        let mut m = NetworkConfig::lan()
+            .with_link(p(1), p(2), VirtualDuration::from_secs(1))
+            .into_model(0);
+        assert_eq!(
+            m.sample(p(1), p(2), VirtualTime::ZERO),
+            VirtualDuration::from_secs(1)
+        );
+        // the reverse direction keeps the base latency
+        assert_eq!(
+            m.sample(p(2), p(1), VirtualTime::ZERO),
+            VirtualDuration::from_micros(100)
+        );
+    }
+}

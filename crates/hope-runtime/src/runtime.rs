@@ -1,0 +1,633 @@
+//! The deterministic virtual-time scheduler.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use hope_types::{Envelope, HopeMessage, Payload, ProcessId, VirtualTime};
+
+use crate::actor::Actor;
+use crate::control::ControlHandler;
+use crate::event::{EventKind, EventQueue};
+use crate::net::{LatencyModel, NetworkConfig};
+use crate::stats::{MessageStats, PartyKind, RunReport};
+use crate::sysapi::{Received, SysApi};
+use crate::threadproc::{Resume, Shared, SpawnKind, SpawnRequest, ThreadCtx, YieldMsg};
+
+/// Lifecycle state of a threaded process, as visible to tests and tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcessStatus {
+    /// Spawned but not yet started.
+    New,
+    /// Currently blocked in `receive`.
+    Blocked,
+    /// Parked waiting for a control wake (lingering speculative process).
+    Parked,
+    /// Waiting for a compute step to finish.
+    Sleeping,
+    /// Finished (normally or by panic).
+    Exited,
+}
+
+enum ProcSlot {
+    /// Placeholder while a slot's contents are temporarily taken out.
+    Vacant,
+    Actor {
+        name: String,
+        actor: Box<dyn Actor>,
+    },
+    Threaded(Box<ThreadedEntry>),
+}
+
+struct ThreadedEntry {
+    pid: ProcessId,
+    name: String,
+    shared: Arc<Mutex<Shared>>,
+    resume_tx: Sender<Resume>,
+    yield_rx: Receiver<YieldMsg>,
+    join: Option<JoinHandle<()>>,
+    control: Option<Box<dyn ControlHandler>>,
+    status: ProcessStatus,
+    blocked_channel: Option<u32>,
+}
+
+/// Configures and creates a [`SimRuntime`].
+///
+/// # Examples
+///
+/// ```
+/// use hope_runtime::{NetworkConfig, SimRuntime};
+/// let rt = SimRuntime::builder()
+///     .seed(42)
+///     .network(NetworkConfig::wan())
+///     .max_events(1_000_000)
+///     .build();
+/// # let _ = rt;
+/// ```
+#[derive(Debug)]
+pub struct RuntimeBuilder {
+    seed: u64,
+    network: NetworkConfig,
+    max_events: u64,
+    trace_capacity: usize,
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        RuntimeBuilder {
+            seed: 0,
+            network: NetworkConfig::default(),
+            max_events: 50_000_000,
+            trace_capacity: 0,
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Seed for all runtime randomness (latency jitter, per-process RNGs).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Network latency configuration.
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Safety valve: abort the run after this many events.
+    pub fn max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Keep a bounded in-memory trace of the most recent `capacity`
+    /// message deliveries (0 = tracing off, the default). Inspect it with
+    /// [`SimRuntime::trace`].
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Builds the runtime.
+    pub fn build(self) -> SimRuntime {
+        SimRuntime {
+            procs: Vec::new(),
+            queue: EventQueue::new(),
+            clock: VirtualTime::ZERO,
+            latency: self.network.into_model(self.seed),
+            stats: MessageStats::new(),
+            seed: self.seed,
+            max_events: self.max_events,
+            events_processed: 0,
+            panics: Vec::new(),
+            collected: 0,
+            trace: if self.trace_capacity > 0 {
+                Some(crate::trace::Trace::new(self.trace_capacity))
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// The deterministic simulated message-passing runtime (PVM substitute).
+///
+/// See the [crate docs](crate) for an overview and an example.
+pub struct SimRuntime {
+    procs: Vec<ProcSlot>,
+    queue: EventQueue,
+    clock: VirtualTime,
+    latency: Box<dyn LatencyModel>,
+    stats: MessageStats,
+    seed: u64,
+    max_events: u64,
+    events_processed: u64,
+    panics: Vec<(ProcessId, String)>,
+    trace: Option<crate::trace::Trace>,
+    collected: u64,
+}
+
+/// Collects sends (and a wake request) issued by an actor or control
+/// handler while it runs inline on the scheduler.
+struct OutboxApi {
+    pid: ProcessId,
+    now: VirtualTime,
+    out: Vec<(ProcessId, Payload)>,
+    wake: bool,
+    stop: bool,
+}
+
+impl crate::actor::ActorApi for OutboxApi {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+    fn send(&mut self, dst: ProcessId, payload: Payload) {
+        self.out.push((dst, payload));
+    }
+    fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+impl crate::control::ControlApi for OutboxApi {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+    fn now(&self) -> VirtualTime {
+        self.now
+    }
+    fn send(&mut self, dst: ProcessId, payload: Payload) {
+        self.out.push((dst, payload));
+    }
+    fn wake(&mut self) {
+        self.wake = true;
+    }
+}
+
+impl SimRuntime {
+    /// Starts configuring a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Creates a runtime with default settings (LAN latency, seed 0).
+    pub fn new() -> Self {
+        RuntimeBuilder::default().build()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.clock
+    }
+
+    /// Seed this runtime was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Message statistics accumulated so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Actor processes garbage-collected so far (AID reference counting).
+    pub fn collected_actors(&self) -> u64 {
+        self.collected
+    }
+
+    /// The delivery trace, when enabled via
+    /// [`RuntimeBuilder::trace`](RuntimeBuilder::trace).
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Name of a process, if it exists.
+    pub fn process_name(&self, pid: ProcessId) -> Option<&str> {
+        match self.procs.get(pid.as_raw() as usize)? {
+            ProcSlot::Vacant => None,
+            ProcSlot::Actor { name, .. } => Some(name),
+            ProcSlot::Threaded(entry) => Some(&entry.name),
+        }
+    }
+
+    /// Status of a threaded process (`None` for actors and unknown pids).
+    pub fn status(&self, pid: ProcessId) -> Option<ProcessStatus> {
+        match self.procs.get(pid.as_raw() as usize)? {
+            ProcSlot::Threaded(entry) => Some(entry.status),
+            _ => None,
+        }
+    }
+
+    /// Spawns an event-driven actor process (e.g. an AID process).
+    pub fn spawn_actor(&mut self, name: &str, actor: Box<dyn Actor>) -> ProcessId {
+        self.register(SpawnRequest {
+            name: name.to_string(),
+            kind: SpawnKind::Actor(actor),
+        })
+    }
+
+    /// Spawns a threaded user process.
+    ///
+    /// `control` receives every HOPE protocol message addressed to the
+    /// process (the paper's HOPElib `Control` function); pass `None` for
+    /// processes that take no part in HOPE bookkeeping. `body` runs on a
+    /// dedicated thread, starting at the current virtual time once
+    /// [`SimRuntime::run`] is called.
+    pub fn spawn_threaded<F>(
+        &mut self,
+        name: &str,
+        control: Option<Box<dyn ControlHandler>>,
+        body: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(&mut dyn SysApi) + Send + 'static,
+    {
+        self.register(SpawnRequest {
+            name: name.to_string(),
+            kind: SpawnKind::Threaded {
+                control,
+                body: Box::new(body),
+            },
+        })
+    }
+
+    /// Injects a message from outside the simulation (delivered with normal
+    /// network latency). Useful in tests and open-loop workloads.
+    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, payload: Payload) {
+        self.schedule_send(src, dst, payload, self.clock);
+    }
+
+    /// Runs until quiescence (no events left) or the event limit, and
+    /// reports the outcome.
+    pub fn run(&mut self) -> RunReport {
+        self.run_bounded(None)
+    }
+
+    /// Runs until virtual time would exceed `deadline` (later events stay
+    /// queued), quiescence, or the event limit.
+    pub fn run_until(&mut self, deadline: VirtualTime) -> RunReport {
+        self.run_bounded(Some(deadline))
+    }
+
+    fn run_bounded(&mut self, deadline: Option<VirtualTime>) -> RunReport {
+        let mut hit_limit = false;
+        while let Some(next_time) = self.queue.peek_time() {
+            if deadline.is_some_and(|d| next_time > d) {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(ev.time >= self.clock, "virtual time must be monotone");
+            self.clock = ev.time;
+            self.events_processed += 1;
+            if self.events_processed > self.max_events {
+                hit_limit = true;
+                break;
+            }
+            match ev.kind {
+                EventKind::Wake(pid) => self.wake(pid),
+                EventKind::Deliver(env) => self.deliver(env),
+            }
+        }
+        self.report(hit_limit)
+    }
+
+    fn report(&self, hit_event_limit: bool) -> RunReport {
+        let blocked = self
+            .procs
+            .iter()
+            .filter_map(|slot| match slot {
+                ProcSlot::Threaded(e)
+                    if e.status == ProcessStatus::Blocked
+                        || e.status == ProcessStatus::Parked =>
+                {
+                    Some((e.pid, e.name.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        RunReport {
+            now: self.clock,
+            events: self.events_processed,
+            blocked,
+            panics: self.panics.clone(),
+            stats: self.stats.clone(),
+            hit_event_limit,
+        }
+    }
+
+    fn party_kind(&self, pid: ProcessId) -> PartyKind {
+        match self.procs.get(pid.as_raw() as usize) {
+            Some(ProcSlot::Actor { .. }) => PartyKind::Aid,
+            _ => PartyKind::User,
+        }
+    }
+
+    fn register(&mut self, req: SpawnRequest) -> ProcessId {
+        let pid = ProcessId::from_raw(self.procs.len() as u64);
+        match req.kind {
+            SpawnKind::Actor(actor) => {
+                self.procs.push(ProcSlot::Actor {
+                    name: req.name,
+                    actor,
+                });
+            }
+            SpawnKind::Threaded { control, body } => {
+                let shared = Shared::new();
+                let (resume_tx, resume_rx) = bounded::<Resume>(0);
+                let (yield_tx, yield_rx) = bounded::<YieldMsg>(0);
+                let thread_shared = shared.clone();
+                let seed = self.seed;
+                let thread_name = format!("hope-{}-{}", pid.as_raw(), req.name);
+                let join = std::thread::Builder::new()
+                    .name(thread_name)
+                    .spawn(move || {
+                        let mut ctx = ThreadCtx::new(pid, thread_shared, resume_rx, yield_tx, seed);
+                        if !ctx.wait_initial() {
+                            return;
+                        }
+                        let result = catch_unwind(AssertUnwindSafe(|| body(&mut ctx)));
+                        let panic = result.err().map(|p| panic_message(p.as_ref()));
+                        ctx.notify_exit(panic);
+                    })
+                    .expect("failed to spawn process thread");
+                self.procs.push(ProcSlot::Threaded(Box::new(ThreadedEntry {
+                    pid,
+                    name: req.name,
+                    shared,
+                    resume_tx,
+                    yield_rx,
+                    join: Some(join),
+                    control,
+                    status: ProcessStatus::New,
+                    blocked_channel: None,
+                })));
+                // Kick the process off at the current virtual time.
+                self.queue.push(self.clock, EventKind::Wake(pid));
+            }
+        }
+        pid
+    }
+
+    fn schedule_send(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Payload,
+        sent_at: VirtualTime,
+    ) {
+        let latency = self.latency.sample(src, dst, sent_at);
+        let env = Envelope {
+            src,
+            dst,
+            sent_at,
+            seq: 0,
+            payload,
+        };
+        self.queue.push(sent_at + latency, EventKind::Deliver(env));
+    }
+
+    fn wake(&mut self, pid: ProcessId) {
+        let idx = pid.as_raw() as usize;
+        let runnable = matches!(
+            self.procs.get(idx),
+            Some(ProcSlot::Threaded(e))
+                if e.status == ProcessStatus::New || e.status == ProcessStatus::Sleeping
+        );
+        if runnable {
+            self.run_threaded(pid);
+        }
+    }
+
+    fn deliver(&mut self, env: Envelope) {
+        let idx = env.dst.as_raw() as usize;
+        if idx >= self.procs.len() {
+            self.stats.record_dropped();
+            return;
+        }
+        let kind: &'static str = match &env.payload {
+            Payload::User(_) => "User",
+            Payload::Hope(m) => m.kind(),
+        };
+        let from = self.party_kind(env.src);
+        let to = self.party_kind(env.dst);
+        self.stats.record(kind, from, to);
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(self.clock, env.src, env.dst, &env.payload);
+        }
+
+        match &self.procs[idx] {
+            ProcSlot::Vacant => {
+                self.stats.record_dropped();
+            }
+            ProcSlot::Actor { .. } => self.deliver_to_actor(idx, env),
+            ProcSlot::Threaded(_) => match env.payload {
+                Payload::User(msg) => self.deliver_user(idx, env.src, msg),
+                Payload::Hope(hope) => self.dispatch_control(env.dst, env.src, hope),
+            },
+        }
+    }
+
+    fn deliver_to_actor(&mut self, idx: usize, env: Envelope) {
+        let slot = std::mem::replace(&mut self.procs[idx], ProcSlot::Vacant);
+        let ProcSlot::Actor { name, mut actor } = slot else {
+            self.procs[idx] = slot;
+            return;
+        };
+        let pid = env.dst;
+        let mut api = OutboxApi {
+            pid,
+            now: self.clock,
+            out: Vec::new(),
+            wake: false,
+            stop: false,
+        };
+        actor.on_message(env, &mut api);
+        if api.stop {
+            // Garbage-collected: the slot stays vacant and later
+            // deliveries are dropped.
+            self.collected += 1;
+        } else {
+            self.procs[idx] = ProcSlot::Actor { name, actor };
+        }
+        for (dst, payload) in api.out {
+            self.schedule_send(pid, dst, payload, self.clock);
+        }
+    }
+
+    fn deliver_user(&mut self, idx: usize, src: ProcessId, msg: hope_types::UserMessage) {
+        let (should_run, pid) = {
+            let ProcSlot::Threaded(entry) = &mut self.procs[idx] else {
+                return;
+            };
+            let matches_filter = entry.blocked_channel.is_none_or(|c| c == msg.channel);
+            entry.shared.lock().mailbox.push_back(Received { src, msg });
+            (
+                entry.status == ProcessStatus::Blocked && matches_filter,
+                entry.pid,
+            )
+        };
+        if should_run {
+            self.run_threaded(pid);
+        }
+    }
+
+    fn dispatch_control(&mut self, dst: ProcessId, src: ProcessId, msg: HopeMessage) {
+        let idx = dst.as_raw() as usize;
+        let handler = {
+            let ProcSlot::Threaded(entry) = &mut self.procs[idx] else {
+                return;
+            };
+            entry.control.take()
+        };
+        let Some(mut handler) = handler else {
+            // No HOPElib attached: the message is dropped.
+            self.stats.record_dropped();
+            return;
+        };
+        let mut api = OutboxApi {
+            pid: dst,
+            now: self.clock,
+            out: Vec::new(),
+            wake: false,
+            stop: false,
+        };
+        handler.on_hope_message(src, msg, &mut api);
+        let status = {
+            let ProcSlot::Threaded(entry) = &mut self.procs[idx] else {
+                unreachable!("slot kind cannot change while handler runs")
+            };
+            entry.control = Some(handler);
+            entry.status
+        };
+        for (to, payload) in api.out {
+            self.schedule_send(dst, to, payload, self.clock);
+        }
+        if api.wake && (status == ProcessStatus::Blocked || status == ProcessStatus::Parked) {
+            self.run_threaded(dst);
+        }
+    }
+
+    /// Resumes a threaded process and services its yields until it parks.
+    fn run_threaded(&mut self, pid: ProcessId) {
+        let idx = pid.as_raw() as usize;
+        if !matches!(self.procs.get(idx), Some(ProcSlot::Threaded(_))) {
+            return;
+        }
+        let slot = std::mem::replace(&mut self.procs[idx], ProcSlot::Vacant);
+        let ProcSlot::Threaded(mut entry) = slot else {
+            unreachable!("checked above")
+        };
+        let mut next_resume = Resume::Go;
+        loop {
+            entry.shared.lock().now = self.clock;
+            if entry.resume_tx.send(next_resume).is_err() {
+                entry.status = ProcessStatus::Exited;
+                break;
+            }
+            let msg = match entry.yield_rx.recv() {
+                Ok(m) => m,
+                Err(_) => {
+                    entry.status = ProcessStatus::Exited;
+                    break;
+                }
+            };
+            // Drain messages sent since the last yield.
+            let out = std::mem::take(&mut entry.shared.lock().outbox);
+            for (dst, payload, sent_at) in out {
+                self.schedule_send(pid, dst, payload, sent_at);
+            }
+            match msg {
+                YieldMsg::Blocked { channel } => {
+                    entry.status = ProcessStatus::Blocked;
+                    entry.blocked_channel = channel;
+                    break;
+                }
+                YieldMsg::Park => {
+                    entry.status = ProcessStatus::Parked;
+                    break;
+                }
+                YieldMsg::Compute { dur } => {
+                    entry.status = ProcessStatus::Sleeping;
+                    self.queue.push(self.clock + dur, EventKind::Wake(pid));
+                    break;
+                }
+                YieldMsg::Spawn(req) => {
+                    let child = self.register(req);
+                    next_resume = Resume::Spawned(child);
+                }
+                YieldMsg::Exited { panic } => {
+                    entry.status = ProcessStatus::Exited;
+                    if let Some(msg) = panic {
+                        self.panics.push((pid, msg));
+                    }
+                    break;
+                }
+            }
+        }
+        self.procs[idx] = ProcSlot::Threaded(entry);
+    }
+}
+
+impl Default for SimRuntime {
+    fn default() -> Self {
+        SimRuntime::new()
+    }
+}
+
+impl Drop for SimRuntime {
+    fn drop(&mut self) {
+        // Close the resume channels so every parked thread unblocks, then
+        // join them. All process threads park on `resume_rx.recv()` between
+        // scheduler turns, so this cannot hang.
+        let mut joins = Vec::new();
+        for slot in &mut self.procs {
+            if let ProcSlot::Threaded(entry) = slot {
+                if let Some(handle) = entry.join.take() {
+                    joins.push(handle);
+                }
+            }
+        }
+        self.procs.clear();
+        for handle in joins {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

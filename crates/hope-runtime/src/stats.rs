@@ -1,0 +1,183 @@
+//! Message accounting and run reports.
+//!
+//! The paper's Table 1 classifies HOPE protocol traffic by message type and
+//! by the kind of endpoint ("User" — the HOPElib attached to a user
+//! process — or "AID" — an assumption-identifier process). The runtime
+//! counts every delivered envelope along those axes so the `table1`
+//! experiment can regenerate the table from a live run.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use hope_types::{ProcessId, VirtualTime};
+
+/// Which kind of process an endpoint is, in the paper's Table 1 sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PartyKind {
+    /// A threaded user process (with its attached HOPElib).
+    User,
+    /// An event-driven actor process (AID processes in HOPE programs).
+    Aid,
+}
+
+impl fmt::Display for PartyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartyKind::User => write!(f, "User"),
+            PartyKind::Aid => write!(f, "AID"),
+        }
+    }
+}
+
+/// Counts of delivered messages, keyed by `(message kind, from, to)`.
+///
+/// `message kind` is `"User"` for application messages or the HOPE message
+/// name (`"Guess"`, `"Affirm"`, `"Deny"`, `"Replace"`, `"Rollback"`).
+#[derive(Debug, Default, Clone)]
+pub struct MessageStats {
+    counts: BTreeMap<(&'static str, PartyKind, PartyKind), u64>,
+    dropped: u64,
+}
+
+impl MessageStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        MessageStats::default()
+    }
+
+    /// Records one delivered message.
+    pub fn record(&mut self, kind: &'static str, from: PartyKind, to: PartyKind) {
+        *self.counts.entry((kind, from, to)).or_insert(0) += 1;
+    }
+
+    /// Records a message dropped because its destination was gone.
+    pub fn record_dropped(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// Count for one `(kind, from, to)` cell.
+    pub fn count(&self, kind: &str, from: PartyKind, to: PartyKind) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((k, f, t), _)| *k == kind && *f == from && *t == to)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total messages of a kind regardless of endpoints.
+    pub fn count_kind(&self, kind: &str) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((k, _, _), _)| *k == kind)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Total delivered messages.
+    pub fn total(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total HOPE protocol messages (everything that is not `"User"`).
+    pub fn total_hope(&self) -> u64 {
+        self.counts
+            .iter()
+            .filter(|((k, _, _), _)| *k != "User")
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Messages dropped because the destination no longer existed.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates `(kind, from, to, count)` rows in deterministic order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, PartyKind, PartyKind, u64)> + '_ {
+        self.counts.iter().map(|(&(k, f, t), &c)| (k, f, t, c))
+    }
+}
+
+impl fmt::Display for MessageStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<10} {:<6} {:<6} {:>10}", "Type", "From", "To", "Count")?;
+        for (kind, from, to, count) in self.iter() {
+            writeln!(f, "{kind:<10} {from:<6} {to:<6} {count:>10}")?;
+        }
+        if self.dropped > 0 {
+            writeln!(f, "(dropped: {})", self.dropped)?;
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of [`SimRuntime::run`](crate::SimRuntime::run).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Virtual time when the run went quiescent (or hit the event limit).
+    pub now: VirtualTime,
+    /// Number of events processed.
+    pub events: u64,
+    /// Threaded processes still blocked in `receive` at quiescence —
+    /// usually a deadlock indicator for closed workloads.
+    pub blocked: Vec<(ProcessId, String)>,
+    /// Processes that terminated by panicking, with panic messages.
+    pub panics: Vec<(ProcessId, String)>,
+    /// Message statistics for the whole run so far.
+    pub stats: MessageStats,
+    /// True if the run stopped because it hit the configured event limit.
+    pub hit_event_limit: bool,
+}
+
+impl RunReport {
+    /// True if the run ended cleanly: no panics and no event-limit stop.
+    pub fn is_clean(&self) -> bool {
+        self.panics.is_empty() && !self.hit_event_limit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut s = MessageStats::new();
+        s.record("Guess", PartyKind::User, PartyKind::Aid);
+        s.record("Guess", PartyKind::User, PartyKind::Aid);
+        s.record("Replace", PartyKind::Aid, PartyKind::User);
+        s.record("User", PartyKind::User, PartyKind::User);
+        assert_eq!(s.count("Guess", PartyKind::User, PartyKind::Aid), 2);
+        assert_eq!(s.count("Guess", PartyKind::Aid, PartyKind::User), 0);
+        assert_eq!(s.count_kind("Replace"), 1);
+        assert_eq!(s.total(), 4);
+        assert_eq!(s.total_hope(), 3);
+    }
+
+    #[test]
+    fn dropped_counter() {
+        let mut s = MessageStats::new();
+        assert_eq!(s.dropped(), 0);
+        s.record_dropped();
+        assert_eq!(s.dropped(), 1);
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let mut s = MessageStats::new();
+        s.record("Deny", PartyKind::User, PartyKind::Aid);
+        let text = s.to_string();
+        assert!(text.contains("Deny"));
+        assert!(text.contains("AID"));
+    }
+
+    #[test]
+    fn iter_is_deterministic() {
+        let mut s = MessageStats::new();
+        s.record("Rollback", PartyKind::Aid, PartyKind::User);
+        s.record("Affirm", PartyKind::User, PartyKind::Aid);
+        let kinds: Vec<_> = s.iter().map(|(k, _, _, _)| k).collect();
+        // BTreeMap ordering: alphabetical by kind.
+        assert_eq!(kinds, vec!["Affirm", "Rollback"]);
+    }
+}

@@ -1,0 +1,662 @@
+//! The wall-clock threaded runtime: real OS threads, real sleeps, real
+//! concurrency.
+//!
+//! Where [`SimRuntime`](crate::SimRuntime) sequences everything for
+//! determinism and virtual time, `ThreadedRuntime` runs every user process
+//! on its own preemptively scheduled thread and delivers messages through
+//! a dispatcher thread that imposes the configured network latency in
+//! *wall time*. The same [`SysApi`] / [`ControlHandler`] / [`Actor`]
+//! contracts apply, so `hope-core`'s entire algorithm — primitives,
+//! Control, replay-based rollback — runs unmodified under genuine
+//! parallelism. Use the simulator for experiments and reproducibility;
+//! use this runtime to validate that nothing depends on the simulator's
+//! cooperative scheduling.
+
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hope_types::{Envelope, Payload, ProcessId, VirtualDuration, VirtualTime};
+
+use crate::actor::{Actor, ActorApi};
+use crate::control::{ControlApi, ControlHandler};
+use crate::net::{LatencyModel, NetworkConfig};
+use crate::stats::{MessageStats, PartyKind, RunReport};
+use crate::sysapi::{Received, SysApi};
+
+/// A message scheduled for wall-clock delivery.
+struct Scheduled {
+    due: Instant,
+    seq: u64,
+    envelope: Envelope,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by due time.
+        (other.due, other.seq).cmp(&(self.due, self.seq))
+    }
+}
+
+/// Per-threaded-process shared state.
+struct ProcShared {
+    mailbox: Mutex<VecDeque<Received>>,
+    wakeup: Condvar,
+    /// Set by control handlers requesting a wake; consumed by waiters.
+    control_poke: AtomicBool,
+    /// True while the process is blocked in receive/park (for quiescence).
+    idle: AtomicBool,
+    /// True once the process body returned.
+    done: AtomicBool,
+    name: String,
+}
+
+enum Slot {
+    /// A garbage-collected actor: deliveries are dropped.
+    Gone,
+    Actor {
+        #[allow(dead_code)] // kept for diagnostics/debugging
+        name: String,
+        actor: Mutex<Box<dyn Actor>>,
+    },
+    Threaded {
+        shared: Arc<ProcShared>,
+        control: Mutex<Option<Box<dyn ControlHandler>>>,
+        join: Mutex<Option<std::thread::JoinHandle<()>>>,
+    },
+}
+
+struct Inner {
+    procs: Mutex<Vec<Arc<Slot>>>,
+    to_dispatcher: Sender<Scheduled>,
+    in_flight: AtomicU64,
+    seq: AtomicU64,
+    latency: Mutex<Box<dyn LatencyModel>>,
+    stats: Mutex<MessageStats>,
+    panics: Mutex<Vec<(ProcessId, String)>>,
+    shutdown: AtomicBool,
+    start: Instant,
+    seed: u64,
+}
+
+impl Inner {
+    fn now(&self) -> VirtualTime {
+        VirtualTime::from_nanos(self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    fn party_kind(&self, pid: ProcessId) -> PartyKind {
+        match self.procs.lock().get(pid.as_raw() as usize).map(Arc::as_ref) {
+            Some(Slot::Actor { .. }) => PartyKind::Aid,
+            _ => PartyKind::User,
+        }
+    }
+
+    fn send(&self, src: ProcessId, dst: ProcessId, payload: Payload) {
+        if self.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let latency = {
+            let mut model = self.latency.lock();
+            model.sample(src, dst, self.now())
+        };
+        let due = Instant::now() + Duration::from(latency);
+        let envelope = Envelope {
+            src,
+            dst,
+            sent_at: self.now(),
+            seq: 0,
+            payload,
+        };
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self
+            .to_dispatcher
+            .send(Scheduled { due, seq, envelope })
+            .is_err()
+        {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Dispatcher-side delivery of one due envelope.
+    fn deliver(self: &Arc<Self>, envelope: Envelope) {
+        let kind: &'static str = match &envelope.payload {
+            Payload::User(_) => "User",
+            Payload::Hope(m) => m.kind(),
+        };
+        let from = self.party_kind(envelope.src);
+        let to = self.party_kind(envelope.dst);
+        let slot = {
+            let procs = self.procs.lock();
+            procs.get(envelope.dst.as_raw() as usize).cloned()
+        };
+        let Some(slot) = slot else {
+            self.stats.lock().record_dropped();
+            return;
+        };
+        self.stats.lock().record(kind, from, to);
+        match slot.as_ref() {
+            Slot::Gone => {
+                self.stats.lock().record_dropped();
+            }
+            Slot::Actor { actor, .. } => {
+                let pid = envelope.dst;
+                let mut api = DispatchApi {
+                    inner: self.clone(),
+                    pid,
+                    wake: false,
+                    stop: false,
+                };
+                actor.lock().on_message(envelope, &mut api);
+                if api.stop {
+                    let mut procs = self.procs.lock();
+                    procs[pid.as_raw() as usize] = Arc::new(Slot::Gone);
+                }
+            }
+            Slot::Threaded { shared, control, .. } => match envelope.payload {
+                Payload::User(msg) => {
+                    shared.mailbox.lock().push_back(Received {
+                        src: envelope.src,
+                        msg,
+                    });
+                    shared.wakeup.notify_all();
+                }
+                Payload::Hope(hope) => {
+                    let mut api = DispatchApi {
+                        inner: self.clone(),
+                        pid: envelope.dst,
+                        wake: false,
+                        stop: false,
+                    };
+                    if let Some(handler) = control.lock().as_mut() {
+                        handler.on_hope_message(envelope.src, hope, &mut api);
+                    } else {
+                        self.stats.lock().record_dropped();
+                    }
+                    if api.wake {
+                        shared.control_poke.store(true, Ordering::Release);
+                        shared.wakeup.notify_all();
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// ActorApi/ControlApi used by the dispatcher thread.
+struct DispatchApi {
+    inner: Arc<Inner>,
+    pid: ProcessId,
+    wake: bool,
+    stop: bool,
+}
+
+impl ActorApi for DispatchApi {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+    fn now(&self) -> VirtualTime {
+        self.inner.now()
+    }
+    fn send(&mut self, dst: ProcessId, payload: Payload) {
+        self.inner.send(self.pid, dst, payload);
+    }
+    fn stop(&mut self) {
+        self.stop = true;
+    }
+}
+
+impl ControlApi for DispatchApi {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+    fn now(&self) -> VirtualTime {
+        self.inner.now()
+    }
+    fn send(&mut self, dst: ProcessId, payload: Payload) {
+        self.inner.send(self.pid, dst, payload);
+    }
+    fn wake(&mut self) {
+        self.wake = true;
+    }
+}
+
+/// The [`SysApi`] handed to bodies running on the threaded runtime.
+struct ThreadedCtx {
+    pid: ProcessId,
+    inner: Arc<Inner>,
+    shared: Arc<ProcShared>,
+    rng: StdRng,
+}
+
+impl ThreadedCtx {
+    /// Waits on the process condvar until something notable happens or the
+    /// poll interval elapses (the interrupt predicate is re-evaluated on
+    /// every wake).
+    fn doze(&self) {
+        let mut guard = self.shared.mailbox.lock();
+        // Re-check emptiness under the lock to avoid lost wakeups.
+        if !guard.is_empty() || self.shared.control_poke.load(Ordering::Acquire) {
+            return;
+        }
+        self.shared.idle.store(true, Ordering::Release);
+        self.shared
+            .wakeup
+            .wait_for(&mut guard, Duration::from_millis(5));
+        self.shared.idle.store(false, Ordering::Release);
+    }
+}
+
+impl SysApi for ThreadedCtx {
+    fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    fn now(&mut self) -> VirtualTime {
+        self.inner.now()
+    }
+
+    fn send(&mut self, dst: ProcessId, payload: Payload) {
+        self.inner.send(self.pid, dst, payload);
+    }
+
+    fn receive(
+        &mut self,
+        channel: Option<u32>,
+        interrupt: &mut dyn FnMut() -> bool,
+    ) -> Option<Received> {
+        loop {
+            if interrupt() {
+                return None;
+            }
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            self.shared.control_poke.store(false, Ordering::Release);
+            {
+                let mut mailbox = self.shared.mailbox.lock();
+                if let Some(pos) = mailbox
+                    .iter()
+                    .position(|r| channel.is_none_or(|c| r.msg.channel == c))
+                {
+                    return mailbox.remove(pos);
+                }
+            }
+            if interrupt() {
+                return None;
+            }
+            self.doze();
+        }
+    }
+
+    fn try_receive(&mut self, channel: Option<u32>) -> Option<Received> {
+        let mut mailbox = self.shared.mailbox.lock();
+        let pos = mailbox
+            .iter()
+            .position(|r| channel.is_none_or(|c| r.msg.channel == c))?;
+        mailbox.remove(pos)
+    }
+
+    fn requeue_front(&mut self, items: Vec<Received>) {
+        let mut mailbox = self.shared.mailbox.lock();
+        for item in items.into_iter().rev() {
+            mailbox.push_front(item);
+        }
+    }
+
+    fn park(&mut self, interrupt: &mut dyn FnMut() -> bool) -> bool {
+        loop {
+            if interrupt() {
+                return true;
+            }
+            if self.inner.shutdown.load(Ordering::Acquire) {
+                return false;
+            }
+            self.shared.control_poke.store(false, Ordering::Release);
+            if interrupt() {
+                return true;
+            }
+            // Park without consuming: wait on the condvar directly.
+            let mut guard = self.shared.mailbox.lock();
+            if self.shared.control_poke.load(Ordering::Acquire) {
+                continue;
+            }
+            self.shared.idle.store(true, Ordering::Release);
+            self.shared
+                .wakeup
+                .wait_for(&mut guard, Duration::from_millis(5));
+            self.shared.idle.store(false, Ordering::Release);
+        }
+    }
+
+    fn compute(&mut self, dur: VirtualDuration) {
+        std::thread::sleep(Duration::from(dur));
+    }
+
+    fn spawn_actor(&mut self, name: &str, actor: Box<dyn Actor>) -> ProcessId {
+        ThreadedRuntime::register_actor(&self.inner, name, actor)
+    }
+
+    fn spawn_threaded(
+        &mut self,
+        name: &str,
+        control: Option<Box<dyn ControlHandler>>,
+        body: crate::sysapi::ProcessBody,
+    ) -> ProcessId {
+        ThreadedRuntime::register_threaded(&self.inner, name, control, body)
+    }
+
+    fn random_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+/// Configuration for [`ThreadedRuntime`].
+#[derive(Debug)]
+pub struct ThreadedRuntimeBuilder {
+    seed: u64,
+    network: NetworkConfig,
+}
+
+impl Default for ThreadedRuntimeBuilder {
+    fn default() -> Self {
+        ThreadedRuntimeBuilder {
+            seed: 0,
+            network: NetworkConfig::local(),
+        }
+    }
+}
+
+impl ThreadedRuntimeBuilder {
+    /// Seed for per-process RNGs and stochastic latency models.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Network latency applied in wall time (keep it small in tests).
+    pub fn network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Builds and starts the runtime (the dispatcher thread runs
+    /// immediately; processes run as soon as they are spawned).
+    pub fn build(self) -> ThreadedRuntime {
+        let (tx, rx) = unbounded::<Scheduled>();
+        let inner = Arc::new(Inner {
+            procs: Mutex::new(Vec::new()),
+            to_dispatcher: tx,
+            in_flight: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            latency: Mutex::new(self.network.into_model(self.seed)),
+            stats: Mutex::new(MessageStats::new()),
+            panics: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            start: Instant::now(),
+            seed: self.seed,
+        });
+        let dispatcher_inner = inner.clone();
+        let dispatcher = std::thread::Builder::new()
+            .name("hope-dispatcher".into())
+            .spawn(move || dispatcher_main(dispatcher_inner, rx))
+            .expect("failed to spawn dispatcher");
+        ThreadedRuntime {
+            inner,
+            dispatcher: Some(dispatcher),
+        }
+    }
+}
+
+/// Dispatcher loop: order scheduled messages by due time, sleep until due,
+/// deliver. `in_flight` counts messages accepted but not yet delivered.
+fn dispatcher_main(inner: Arc<Inner>, rx: Receiver<Scheduled>) {
+    let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
+    loop {
+        if inner.shutdown.load(Ordering::Acquire) {
+            // Drain without delivering.
+            while rx.try_recv().is_ok() {
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            for _ in heap.drain() {
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            return;
+        }
+        // Pull everything currently queued.
+        while let Ok(item) = rx.try_recv() {
+            heap.push(item);
+        }
+        match heap.peek() {
+            Some(next) if next.due <= Instant::now() => {
+                let item = heap.pop().expect("peeked");
+                inner.deliver(item.envelope);
+                inner.in_flight.fetch_sub(1, Ordering::AcqRel);
+            }
+            Some(next) => {
+                let wait = next.due.saturating_duration_since(Instant::now());
+                if let Ok(item) = rx.recv_timeout(wait.min(Duration::from_millis(5))) {
+                    heap.push(item);
+                }
+            }
+            None => {
+                if let Ok(item) = rx.recv_timeout(Duration::from_millis(5)) {
+                    heap.push(item);
+                }
+            }
+        }
+    }
+}
+
+/// The wall-clock runtime: see the type-level discussion at the top of
+/// this file's documentation in the crate docs.
+pub struct ThreadedRuntime {
+    inner: Arc<Inner>,
+    dispatcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadedRuntime {
+    /// Starts configuring a runtime.
+    pub fn builder() -> ThreadedRuntimeBuilder {
+        ThreadedRuntimeBuilder::default()
+    }
+
+    /// Wall-clock time since the runtime started, as virtual time.
+    pub fn now(&self) -> VirtualTime {
+        self.inner.now()
+    }
+
+    fn register_actor(inner: &Arc<Inner>, name: &str, actor: Box<dyn Actor>) -> ProcessId {
+        let mut procs = inner.procs.lock();
+        let pid = ProcessId::from_raw(procs.len() as u64);
+        procs.push(Arc::new(Slot::Actor {
+            name: name.to_string(),
+            actor: Mutex::new(actor),
+        }));
+        pid
+    }
+
+    fn register_threaded(
+        inner: &Arc<Inner>,
+        name: &str,
+        control: Option<Box<dyn ControlHandler>>,
+        body: crate::sysapi::ProcessBody,
+    ) -> ProcessId {
+        let shared = Arc::new(ProcShared {
+            mailbox: Mutex::new(VecDeque::new()),
+            wakeup: Condvar::new(),
+            control_poke: AtomicBool::new(false),
+            idle: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+            name: name.to_string(),
+        });
+        let (pid, slot) = {
+            let mut procs = inner.procs.lock();
+            let pid = ProcessId::from_raw(procs.len() as u64);
+            let slot = Arc::new(Slot::Threaded {
+                shared: shared.clone(),
+                control: Mutex::new(control),
+                join: Mutex::new(None),
+            });
+            procs.push(slot.clone());
+            (pid, slot)
+        };
+        let thread_inner = inner.clone();
+        let thread_shared = shared;
+        let handle = std::thread::Builder::new()
+            .name(format!("hope-rt-{}-{}", pid.as_raw(), name))
+            .spawn(move || {
+                let mut ctx = ThreadedCtx {
+                    pid,
+                    inner: thread_inner.clone(),
+                    shared: thread_shared.clone(),
+                    rng: StdRng::seed_from_u64(
+                        thread_inner.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pid.as_raw(),
+                    ),
+                };
+                let result =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx)));
+                if let Err(payload) = result {
+                    let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                        (*s).to_string()
+                    } else if let Some(s) = payload.downcast_ref::<String>() {
+                        s.clone()
+                    } else {
+                        "non-string panic payload".to_string()
+                    };
+                    thread_inner.panics.lock().push((pid, msg));
+                }
+                thread_shared.done.store(true, Ordering::Release);
+                thread_shared.idle.store(true, Ordering::Release);
+            })
+            .expect("failed to spawn process thread");
+        if let Slot::Threaded { join, .. } = slot.as_ref() {
+            *join.lock() = Some(handle);
+        }
+        pid
+    }
+
+    /// Spawns an event-driven actor process.
+    pub fn spawn_actor(&self, name: &str, actor: Box<dyn Actor>) -> ProcessId {
+        Self::register_actor(&self.inner, name, actor)
+    }
+
+    /// Spawns a threaded user process; its body starts running at once.
+    pub fn spawn_threaded<F>(
+        &self,
+        name: &str,
+        control: Option<Box<dyn ControlHandler>>,
+        body: F,
+    ) -> ProcessId
+    where
+        F: FnOnce(&mut dyn SysApi) + Send + 'static,
+    {
+        Self::register_threaded(&self.inner, name, control, Box::new(body))
+    }
+
+    /// Waits (wall clock) until the system has been quiescent — no
+    /// messages in flight and every process idle or finished — for
+    /// `grace`, or until `timeout` elapses. Returns the run report.
+    pub fn run_until_quiescent(&self, grace: Duration, timeout: Duration) -> RunReport {
+        let deadline = Instant::now() + timeout;
+        let mut quiet_since: Option<Instant> = None;
+        let mut hit_timeout = true;
+        while Instant::now() < deadline {
+            let in_flight = self.inner.in_flight.load(Ordering::Acquire);
+            let all_idle = {
+                let procs = self.inner.procs.lock();
+                procs.iter().all(|slot| match slot.as_ref() {
+                    Slot::Gone | Slot::Actor { .. } => true,
+                    Slot::Threaded { shared, .. } => {
+                        shared.idle.load(Ordering::Acquire) || shared.done.load(Ordering::Acquire)
+                    }
+                })
+            };
+            if in_flight == 0 && all_idle {
+                let since = *quiet_since.get_or_insert_with(Instant::now);
+                if since.elapsed() >= grace {
+                    hit_timeout = false;
+                    break;
+                }
+            } else {
+                quiet_since = None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let blocked = {
+            let procs = self.inner.procs.lock();
+            procs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, slot)| match slot.as_ref() {
+                    Slot::Threaded { shared, .. } if !shared.done.load(Ordering::Acquire) => {
+                        Some((ProcessId::from_raw(i as u64), shared.name.clone()))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        RunReport {
+            now: self.inner.now(),
+            events: self.inner.seq.load(Ordering::Relaxed),
+            blocked,
+            panics: self.inner.panics.lock().clone(),
+            stats: self.inner.stats.lock().clone(),
+            hit_event_limit: hit_timeout,
+        }
+    }
+
+    /// Message statistics so far.
+    pub fn stats(&self) -> MessageStats {
+        self.inner.stats.lock().clone()
+    }
+}
+
+impl Drop for ThreadedRuntime {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        // Wake every parked process so it observes the shutdown.
+        {
+            let procs = self.inner.procs.lock();
+            for slot in procs.iter() {
+                if let Slot::Threaded { shared, .. } = slot.as_ref() {
+                    shared.control_poke.store(true, Ordering::Release);
+                    shared.wakeup.notify_all();
+                }
+            }
+        }
+        if let Some(handle) = self.dispatcher.take() {
+            let _ = handle.join();
+        }
+        let joins: Vec<std::thread::JoinHandle<()>> = {
+            let procs = self.inner.procs.lock();
+            procs
+                .iter()
+                .filter_map(|slot| match slot.as_ref() {
+                    Slot::Threaded { join, .. } => join.lock().take(),
+                    _ => None,
+                })
+                .collect()
+        };
+        for handle in joins {
+            let _ = handle.join();
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Message tracing: an optional, bounded record of every delivery, for
+//! debugging optimistic executions ("why did this roll back?") and for
+//! rendering message-sequence charts of the protocol.
+
+use std::fmt;
+
+use hope_types::{Payload, ProcessId, VirtualTime};
+
+/// One delivered message, as recorded by a tracing runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Delivery (virtual) time.
+    pub at: VirtualTime,
+    /// Sending process.
+    pub src: ProcessId,
+    /// Receiving process.
+    pub dst: ProcessId,
+    /// `"User"` or the HOPE message kind.
+    pub kind: &'static str,
+    /// Rendered message summary (`<Replace, P1#2, {X5}>` or `user/ch=7`).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12}  {} -> {}  {}",
+            self.at.to_string(),
+            self.src,
+            self.dst,
+            self.detail
+        )
+    }
+}
+
+/// A bounded in-memory trace (oldest entries are dropped beyond the cap).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// An empty trace holding up to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records a delivery.
+    pub fn record(&mut self, at: VirtualTime, src: ProcessId, dst: ProcessId, payload: &Payload) {
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        let (kind, detail) = match payload {
+            Payload::User(m) => ("User", format!("user/ch={} ({} bytes, tag {})", m.channel, m.data.len(), m.tag)),
+            Payload::Hope(m) => (m.kind(), m.to_string()),
+        };
+        self.events.push(TraceEvent {
+            at,
+            src,
+            dst,
+            kind,
+            detail,
+        });
+    }
+
+    /// Recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events dropped because the capacity was exceeded.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as a text message-sequence listing, optionally
+    /// filtered to HOPE protocol messages only.
+    pub fn render(&self, hope_only: bool) -> String {
+        let mut out = String::new();
+        if self.dropped > 0 {
+            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped));
+        }
+        for e in &self.events {
+            if hope_only && e.kind == "User" {
+                continue;
+            }
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use hope_types::{HopeMessage, IntervalId, UserMessage};
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn records_and_renders() {
+        let mut t = Trace::new(10);
+        t.record(
+            VirtualTime::from_nanos(5),
+            pid(1),
+            pid(2),
+            &Payload::User(UserMessage::new(7, Bytes::from_static(b"xy"))),
+        );
+        t.record(
+            VirtualTime::from_nanos(9),
+            pid(2),
+            pid(3),
+            &Payload::Hope(HopeMessage::Rollback {
+                iid: IntervalId::new(pid(1), 4),
+                cause: None,
+            }),
+        );
+        assert_eq!(t.events().len(), 2);
+        let all = t.render(false);
+        assert!(all.contains("user/ch=7"));
+        assert!(all.contains("Rollback"));
+        let hope = t.render(true);
+        assert!(!hope.contains("user/ch=7"));
+        assert!(hope.contains("Rollback"));
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut t = Trace::new(2);
+        for i in 0..5u64 {
+            t.record(
+                VirtualTime::from_nanos(i),
+                pid(i),
+                pid(0),
+                &Payload::Hope(HopeMessage::Deny { iid: None }),
+            );
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].src, pid(3), "oldest surviving is #3");
+        assert!(t.render(false).contains("earlier events dropped"));
+    }
+}

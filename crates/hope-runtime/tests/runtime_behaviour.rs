@@ -1,0 +1,439 @@
+//! Integration tests for the simulated runtime: timing, determinism,
+//! actors, spawning, control interception, blocking and interrupts.
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use hope_runtime::{
+    Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ProcessStatus,
+    SimRuntime,
+};
+use hope_types::{
+    Envelope, HopeMessage, IntervalId, Payload, ProcessId, UserMessage, VirtualDuration,
+    VirtualTime,
+};
+
+fn user(data: &'static [u8]) -> Payload {
+    Payload::User(UserMessage::new(0, Bytes::from_static(data)))
+}
+
+#[test]
+fn one_way_latency_is_applied() {
+    let mut rt = SimRuntime::builder()
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(7)))
+        .build();
+    let times = Arc::new(Mutex::new(Vec::new()));
+    let t2 = times.clone();
+    let receiver = rt.spawn_threaded("rx", None, move |ctx| {
+        let _ = ctx.receive(None, &mut || false).unwrap();
+        t2.lock().unwrap().push(ctx.now());
+    });
+    rt.spawn_threaded("tx", None, move |ctx| {
+        ctx.send(receiver, user(b"x"));
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert_eq!(
+        times.lock().unwrap()[0],
+        VirtualTime::ZERO + VirtualDuration::from_millis(7)
+    );
+}
+
+#[test]
+fn compute_advances_virtual_time_only() {
+    let mut rt = SimRuntime::new();
+    let observed = Arc::new(Mutex::new((VirtualTime::ZERO, VirtualTime::ZERO)));
+    let obs = observed.clone();
+    rt.spawn_threaded("worker", None, move |ctx| {
+        let before = ctx.now();
+        ctx.compute(VirtualDuration::from_secs(1000)); // free in wall time
+        let after = ctx.now();
+        *obs.lock().unwrap() = (before, after);
+    });
+    let wall_start = std::time::Instant::now();
+    let report = rt.run();
+    assert!(report.is_clean());
+    let (before, after) = *observed.lock().unwrap();
+    assert_eq!(after - before, VirtualDuration::from_secs(1000));
+    assert!(wall_start.elapsed() < std::time::Duration::from_secs(5));
+}
+
+#[test]
+fn sends_are_asynchronous_fire_and_forget() {
+    // A sender must not advance time by sending: wait-freedom at the
+    // substrate level.
+    let mut rt = SimRuntime::builder()
+        .network(NetworkConfig::wan())
+        .build();
+    let send_time = Arc::new(Mutex::new(None));
+    let st = send_time.clone();
+    let sink = rt.spawn_actor("sink", Box::new(hope_runtime::NullActor));
+    rt.spawn_threaded("tx", None, move |ctx| {
+        for _ in 0..100 {
+            ctx.send(sink, user(b"x"));
+        }
+        *st.lock().unwrap() = Some(ctx.now());
+    });
+    rt.run();
+    assert_eq!(send_time.lock().unwrap().unwrap(), VirtualTime::ZERO);
+}
+
+#[test]
+fn channel_filter_selects_messages() {
+    let mut rt = SimRuntime::new();
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let g = got.clone();
+    let rx = rt.spawn_threaded("rx", None, move |ctx| {
+        // Wait specifically for channel 2 first, then drain channel 1.
+        let m2 = ctx.receive(Some(2), &mut || false).unwrap();
+        let m1 = ctx.receive(Some(1), &mut || false).unwrap();
+        g.lock().unwrap().push(m2.msg.channel);
+        g.lock().unwrap().push(m1.msg.channel);
+    });
+    rt.spawn_threaded("tx", None, move |ctx| {
+        ctx.send(rx, Payload::User(UserMessage::new(1, Bytes::new())));
+        ctx.send(rx, Payload::User(UserMessage::new(2, Bytes::new())));
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert!(report.blocked.is_empty());
+    assert_eq!(*got.lock().unwrap(), vec![2, 1]);
+}
+
+#[test]
+fn try_receive_does_not_block() {
+    let mut rt = SimRuntime::new();
+    let saw = Arc::new(Mutex::new(Vec::new()));
+    let s = saw.clone();
+    rt.spawn_threaded("poller", None, move |ctx| {
+        s.lock().unwrap().push(ctx.try_receive(None).is_none());
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert_eq!(*saw.lock().unwrap(), vec![true]);
+}
+
+#[test]
+fn interrupted_receive_returns_none() {
+    let mut rt = SimRuntime::new();
+    let outcome = Arc::new(Mutex::new(None));
+    let o = outcome.clone();
+    rt.spawn_threaded("rx", None, move |ctx| {
+        let mut calls = 0;
+        let r = ctx.receive(None, &mut || {
+            calls += 1;
+            calls > 0 // interrupt immediately
+        });
+        *o.lock().unwrap() = Some(r.is_none());
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert_eq!(*outcome.lock().unwrap(), Some(true));
+}
+
+struct Echo;
+
+impl Actor for Echo {
+    fn on_message(&mut self, envelope: Envelope, api: &mut dyn ActorApi) {
+        if let Payload::User(msg) = envelope.payload {
+            api.send(envelope.src, Payload::User(msg));
+        }
+    }
+}
+
+#[test]
+fn actor_echo_round_trip_takes_two_latencies() {
+    let mut rt = SimRuntime::builder()
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(5)))
+        .build();
+    let echo = rt.spawn_actor("echo", Box::new(Echo));
+    let rtt = Arc::new(Mutex::new(None));
+    let r = rtt.clone();
+    rt.spawn_threaded("client", None, move |ctx| {
+        let start = ctx.now();
+        ctx.send(echo, user(b"ping"));
+        let _ = ctx.receive(None, &mut || false).unwrap();
+        *r.lock().unwrap() = Some(ctx.now() - start);
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert_eq!(rtt.lock().unwrap().unwrap(), VirtualDuration::from_millis(10));
+}
+
+#[test]
+fn process_can_spawn_actor_and_threaded_children() {
+    let mut rt = SimRuntime::new();
+    let results = Arc::new(Mutex::new(Vec::new()));
+    let res = results.clone();
+    rt.spawn_threaded("parent", None, move |ctx| {
+        let echo = ctx.spawn_actor("child-echo", Box::new(Echo));
+        let res2 = res.clone();
+        let grand = ctx.spawn_threaded(
+            "child-worker",
+            None,
+            Box::new(move |cctx: &mut dyn hope_runtime::SysApi| {
+                let m = cctx.receive(None, &mut || false).unwrap();
+                res2.lock().unwrap().push(format!("child got {:?}", m.msg.data));
+            }),
+        );
+        ctx.send(echo, user(b"e"));
+        let back = ctx.receive(None, &mut || false).unwrap();
+        res.lock().unwrap().push(format!("parent got {:?}", back.msg.data));
+        ctx.send(grand, user(b"w"));
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    let mut got = results.lock().unwrap().clone();
+    got.sort();
+    assert_eq!(got.len(), 2);
+    assert!(got[0].contains("child got"));
+    assert!(got[1].contains("parent got"));
+}
+
+struct RecordingControl {
+    log: Arc<Mutex<Vec<String>>>,
+    wake: bool,
+}
+
+impl ControlHandler for RecordingControl {
+    fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
+        self.log
+            .lock()
+            .unwrap()
+            .push(format!("from {src}: {msg}"));
+        if self.wake {
+            api.wake();
+        }
+    }
+}
+
+#[test]
+fn hope_messages_route_to_control_not_mailbox() {
+    let mut rt = SimRuntime::new();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let target = rt.spawn_threaded(
+        "target",
+        Some(Box::new(RecordingControl {
+            log: log.clone(),
+            wake: false,
+        })),
+        move |ctx| {
+            // Only a *user* message may end this receive.
+            let m = ctx.receive(None, &mut || false).unwrap();
+            assert_eq!(&m.msg.data[..], b"real");
+        },
+    );
+    rt.spawn_threaded("sender", None, move |ctx| {
+        let iid = IntervalId::new(ctx.pid(), 0);
+        ctx.send(target, Payload::Hope(HopeMessage::Rollback { iid, cause: None }));
+        ctx.compute(VirtualDuration::from_millis(1));
+        ctx.send(target, Payload::User(UserMessage::new(0, Bytes::from_static(b"real"))));
+    });
+    let report = rt.run();
+    assert!(report.is_clean(), "panics: {:?}", report.panics);
+    let entries = log.lock().unwrap().clone();
+    assert_eq!(entries.len(), 1);
+    assert!(entries[0].contains("Rollback"));
+}
+
+#[test]
+fn control_wake_interrupts_blocked_receive() {
+    // A control handler that flips a flag and requests a wake; the target's
+    // interrupt predicate observes the flag — exactly how HOPElib breaks a
+    // blocked process out of `receive` when an interval is rolled back.
+    struct FlipControl {
+        flag: Arc<Mutex<bool>>,
+    }
+    impl ControlHandler for FlipControl {
+        fn on_hope_message(&mut self, _src: ProcessId, _msg: HopeMessage, api: &mut dyn ControlApi) {
+            *self.flag.lock().unwrap() = true;
+            api.wake();
+        }
+    }
+    let mut rt = SimRuntime::new();
+    let flag = Arc::new(Mutex::new(false));
+    let target = rt.spawn_threaded(
+        "target",
+        Some(Box::new(FlipControl { flag: flag.clone() })),
+        move |ctx| {
+            let f = flag.clone();
+            let r = ctx.receive(None, &mut move || *f.lock().unwrap());
+            assert!(r.is_none(), "receive must be interrupted by control wake");
+        },
+    );
+    rt.spawn_threaded("sender", None, move |ctx| {
+        let iid = IntervalId::new(ctx.pid(), 0);
+        ctx.send(target, Payload::Hope(HopeMessage::Rollback { iid, cause: None }));
+    });
+    let report = rt.run();
+    assert!(report.is_clean(), "panics: {:?}", report.panics);
+}
+
+#[test]
+fn panics_are_reported_not_swallowed() {
+    let mut rt = SimRuntime::new();
+    let pid = rt.spawn_threaded("bad", None, |_ctx| panic!("boom-{}", 42));
+    let report = rt.run();
+    assert_eq!(report.panics.len(), 1);
+    assert_eq!(report.panics[0].0, pid);
+    assert!(report.panics[0].1.contains("boom-42"));
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn deadlocked_receivers_are_reported_blocked() {
+    let mut rt = SimRuntime::new();
+    let pid = rt.spawn_threaded("waiter", None, |ctx| {
+        let _ = ctx.receive(None, &mut || false);
+    });
+    let report = rt.run();
+    assert_eq!(report.blocked.len(), 1);
+    assert_eq!(report.blocked[0].0, pid);
+    assert_eq!(rt.status(pid), Some(ProcessStatus::Blocked));
+}
+
+#[test]
+fn runs_are_deterministic_across_identical_runtimes() {
+    fn trace_of(seed: u64) -> Vec<String> {
+        let mut rt = SimRuntime::builder()
+            .seed(seed)
+            .network(NetworkConfig::uniform(
+                VirtualDuration::from_micros(50),
+                VirtualDuration::from_micros(500),
+            ))
+            .build();
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let echo = rt.spawn_actor("echo", Box::new(Echo));
+        for i in 0..4u64 {
+            let t = trace.clone();
+            rt.spawn_threaded(&format!("c{i}"), None, move |ctx| {
+                for round in 0..3 {
+                    ctx.send(echo, user(b"m"));
+                    let _ = ctx.receive(None, &mut || false).unwrap();
+                    t.lock()
+                        .unwrap()
+                        .push(format!("{} r{} at {}", ctx.pid(), round, ctx.now()));
+                }
+            });
+        }
+        rt.run();
+        let out = trace.lock().unwrap().clone();
+        out
+    }
+    let a = trace_of(99);
+    let b = trace_of(99);
+    assert_eq!(a, b, "same seed must reproduce the exact event order");
+    let c = trace_of(100);
+    assert_ne!(a, c, "different seeds should shuffle jittered timings");
+}
+
+#[test]
+fn run_until_stops_at_deadline() {
+    let mut rt = SimRuntime::builder()
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(10)))
+        .build();
+    let echo = rt.spawn_actor("echo", Box::new(Echo));
+    rt.spawn_threaded("client", None, move |ctx| {
+        for _ in 0..10 {
+            ctx.send(echo, user(b"x"));
+            let _ = ctx.receive(None, &mut || false).unwrap();
+        }
+    });
+    let mid = rt.run_until(VirtualTime::from_nanos(35_000_000));
+    assert!(mid.now <= VirtualTime::from_nanos(35_000_000));
+    let done = rt.run();
+    assert!(done.is_clean());
+    assert_eq!(done.now, VirtualTime::ZERO + VirtualDuration::from_millis(200));
+}
+
+#[test]
+fn stats_count_user_and_hope_messages() {
+    let mut rt = SimRuntime::new();
+    let sink = rt.spawn_actor("sink", Box::new(hope_runtime::NullActor));
+    rt.spawn_threaded("tx", None, move |ctx| {
+        ctx.send(sink, user(b"u"));
+        ctx.send(
+            sink,
+            Payload::Hope(HopeMessage::Guess {
+                iid: IntervalId::new(ctx.pid(), 0),
+            }),
+        );
+    });
+    let report = rt.run();
+    assert_eq!(report.stats.count_kind("User"), 1);
+    assert_eq!(report.stats.count_kind("Guess"), 1);
+    assert_eq!(
+        report.stats.count(
+            "Guess",
+            hope_runtime::PartyKind::User,
+            hope_runtime::PartyKind::Aid
+        ),
+        1
+    );
+}
+
+#[test]
+fn messages_to_unknown_processes_are_dropped() {
+    let mut rt = SimRuntime::new();
+    rt.spawn_threaded("tx", None, |ctx| {
+        ctx.send(ProcessId::from_raw(999), user(b"lost"));
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    assert_eq!(report.stats.dropped(), 1);
+}
+
+#[test]
+fn event_limit_stops_runaway_runs() {
+    let mut rt = SimRuntime::builder().max_events(50).build();
+    let echo = rt.spawn_actor("echo", Box::new(Echo));
+    // Ping-pong forever between two echo actors.
+    let echo2 = rt.spawn_actor("echo2", Box::new(Echo));
+    rt.inject(echo2, echo, user(b"ball"));
+    let report = rt.run();
+    assert!(report.hit_event_limit);
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn per_process_randomness_is_deterministic() {
+    fn draw(seed: u64) -> Vec<u64> {
+        let mut rt = SimRuntime::builder().seed(seed).build();
+        let vals = Arc::new(Mutex::new(Vec::new()));
+        let v = vals.clone();
+        rt.spawn_threaded("r", None, move |ctx| {
+            for _ in 0..5 {
+                v.lock().unwrap().push(ctx.random_u64());
+            }
+        });
+        rt.run();
+        let out = vals.lock().unwrap().clone();
+        out
+    }
+    assert_eq!(draw(1), draw(1));
+    assert_ne!(draw(1), draw(2));
+}
+
+#[test]
+fn receive_sees_message_queued_before_block() {
+    // Delivery while the process is computing must be consumable later.
+    let mut rt = SimRuntime::builder()
+        .network(NetworkConfig::constant(VirtualDuration::from_micros(1)))
+        .build();
+    let got = Arc::new(Mutex::new(None));
+    let g = got.clone();
+    let rx = rt.spawn_threaded("rx", None, move |ctx| {
+        ctx.compute(VirtualDuration::from_millis(50)); // message arrives meanwhile
+        let m = ctx.receive(None, &mut || false).unwrap();
+        *g.lock().unwrap() = Some((ctx.now(), m.msg.data));
+    });
+    rt.spawn_threaded("tx", None, move |ctx| {
+        ctx.send(rx, user(b"early"));
+    });
+    let report = rt.run();
+    assert!(report.is_clean());
+    let (t, data) = got.lock().unwrap().clone().unwrap();
+    assert_eq!(&data[..], b"early");
+    // Receive returned when compute finished, not at delivery time.
+    assert_eq!(t, VirtualTime::ZERO + VirtualDuration::from_millis(50));
+}

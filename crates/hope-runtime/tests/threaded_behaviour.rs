@@ -1,0 +1,198 @@
+//! Raw threaded-runtime tests: real latency, real parallelism, actor
+//! delivery, control interception and shutdown hygiene.
+
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use hope_runtime::{
+    Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ThreadedRuntime,
+};
+use hope_types::{Envelope, HopeMessage, IntervalId, Payload, ProcessId, UserMessage, VirtualDuration};
+
+const GRACE: Duration = Duration::from_millis(25);
+const TIMEOUT: Duration = Duration::from_secs(15);
+
+fn user(data: &'static [u8]) -> Payload {
+    Payload::User(UserMessage::new(0, Bytes::from_static(data)))
+}
+
+struct Echo;
+impl Actor for Echo {
+    fn on_message(&mut self, envelope: Envelope, api: &mut dyn ActorApi) {
+        if let Payload::User(msg) = envelope.payload {
+            api.send(envelope.src, Payload::User(msg));
+        }
+    }
+}
+
+#[test]
+fn latency_elapses_in_wall_time() {
+    let rt = ThreadedRuntime::builder()
+        .network(NetworkConfig::constant(VirtualDuration::from_millis(15)))
+        .build();
+    let echo = rt.spawn_actor("echo", Box::new(Echo));
+    let rtt = Arc::new(Mutex::new(None));
+    let r = rtt.clone();
+    rt.spawn_threaded("client", None, move |ctx| {
+        let start = Instant::now();
+        ctx.send(echo, user(b"ping"));
+        let _ = ctx.receive(None, &mut || false).unwrap();
+        *r.lock().unwrap() = Some(start.elapsed());
+    });
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert!(report.panics.is_empty());
+    let elapsed = rtt.lock().unwrap().unwrap();
+    assert!(elapsed >= Duration::from_millis(30), "two 15 ms hops: {elapsed:?}");
+    assert!(elapsed < Duration::from_millis(300), "but not much more: {elapsed:?}");
+}
+
+#[test]
+fn processes_really_run_in_parallel() {
+    // Four processes each sleep 60 ms of compute; in parallel the whole
+    // thing finishes far sooner than 240 ms.
+    let rt = ThreadedRuntime::builder().build();
+    let start = Instant::now();
+    for i in 0..4 {
+        rt.spawn_threaded(&format!("w{i}"), None, |ctx| {
+            ctx.compute(VirtualDuration::from_millis(60));
+        });
+    }
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert!(report.panics.is_empty());
+    assert!(!report.hit_event_limit);
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(200),
+        "4×60 ms must overlap: {elapsed:?}"
+    );
+}
+
+#[test]
+fn control_messages_intercepted_and_wake_blocked_receivers() {
+    struct FlipControl {
+        flag: Arc<Mutex<bool>>,
+    }
+    impl ControlHandler for FlipControl {
+        fn on_hope_message(
+            &mut self,
+            _src: ProcessId,
+            _msg: HopeMessage,
+            api: &mut dyn ControlApi,
+        ) {
+            *self.flag.lock().unwrap() = true;
+            api.wake();
+        }
+    }
+    let rt = ThreadedRuntime::builder().build();
+    let flag = Arc::new(Mutex::new(false));
+    let interrupted = Arc::new(Mutex::new(false));
+    let f2 = flag.clone();
+    let i2 = interrupted.clone();
+    let target = rt.spawn_threaded(
+        "target",
+        Some(Box::new(FlipControl { flag: flag.clone() })),
+        move |ctx| {
+            let f = f2.clone();
+            let r = ctx.receive(None, &mut move || *f.lock().unwrap());
+            *i2.lock().unwrap() = r.is_none();
+        },
+    );
+    rt.spawn_threaded("sender", None, move |ctx| {
+        ctx.send(
+            target,
+            Payload::Hope(HopeMessage::Rollback {
+                iid: IntervalId::new(ctx.pid(), 0),
+                cause: None,
+            }),
+        );
+    });
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert!(report.panics.is_empty());
+    assert!(*interrupted.lock().unwrap(), "receive must be interrupted");
+    assert!(*flag.lock().unwrap());
+}
+
+#[test]
+fn channel_filters_and_requeue_work() {
+    let rt = ThreadedRuntime::builder().build();
+    let got = Arc::new(Mutex::new(Vec::new()));
+    let g = got.clone();
+    let rx = rt.spawn_threaded("rx", None, move |ctx| {
+        let m2 = ctx.receive(Some(2), &mut || false).unwrap();
+        // Requeue a synthetic message and consume it again.
+        ctx.requeue_front(vec![hope_runtime::Received {
+            src: m2.src,
+            msg: UserMessage::new(9, Bytes::from_static(b"requeued")),
+        }]);
+        let m9 = ctx.receive(Some(9), &mut || false).unwrap();
+        let m1 = ctx.receive(Some(1), &mut || false).unwrap();
+        g.lock().unwrap().push(m2.msg.channel);
+        g.lock().unwrap().push(m9.msg.channel);
+        g.lock().unwrap().push(m1.msg.channel);
+    });
+    rt.spawn_threaded("tx", None, move |ctx| {
+        ctx.send(rx, Payload::User(UserMessage::new(1, Bytes::new())));
+        ctx.send(rx, Payload::User(UserMessage::new(2, Bytes::new())));
+    });
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert!(report.panics.is_empty());
+    assert_eq!(*got.lock().unwrap(), vec![2, 9, 1]);
+}
+
+#[test]
+fn panics_are_collected() {
+    let rt = ThreadedRuntime::builder().build();
+    let pid = rt.spawn_threaded("bad", None, |_ctx| panic!("threaded boom"));
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert_eq!(report.panics.len(), 1);
+    assert_eq!(report.panics[0].0, pid);
+    assert!(report.panics[0].1.contains("threaded boom"));
+}
+
+#[test]
+fn quiescence_times_out_on_a_blocked_process() {
+    let rt = ThreadedRuntime::builder().build();
+    rt.spawn_threaded("waiter", None, |ctx| {
+        let _ = ctx.receive(None, &mut || false);
+    });
+    let report = rt.run_until_quiescent(GRACE, Duration::from_millis(200));
+    // A blocked process is idle, so quiescence IS reached; it is simply
+    // reported as blocked.
+    assert_eq!(report.blocked.len(), 1);
+}
+
+#[test]
+fn dropping_the_runtime_unblocks_everything() {
+    let released = Arc::new(Mutex::new(false));
+    {
+        let rt = ThreadedRuntime::builder().build();
+        let r = released.clone();
+        rt.spawn_threaded("waiter", None, move |ctx| {
+            let _ = ctx.receive(None, &mut || false);
+            *r.lock().unwrap() = true; // reached after shutdown-None
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        // rt drops here; drop joins every thread.
+    }
+    assert!(
+        *released.lock().unwrap(),
+        "blocked receiver must observe shutdown and exit"
+    );
+}
+
+#[test]
+fn spawning_from_inside_a_process_works() {
+    let rt = ThreadedRuntime::builder().build();
+    let echoed = Arc::new(Mutex::new(false));
+    let e = echoed.clone();
+    rt.spawn_threaded("parent", None, move |ctx| {
+        let echo = ctx.spawn_actor("child-echo", Box::new(Echo));
+        ctx.send(echo, user(b"hi"));
+        let back = ctx.receive(None, &mut || false).unwrap();
+        *e.lock().unwrap() = &back.msg.data[..] == b"hi";
+    });
+    let report = rt.run_until_quiescent(GRACE, TIMEOUT);
+    assert!(report.panics.is_empty());
+    assert!(*echoed.lock().unwrap());
+}

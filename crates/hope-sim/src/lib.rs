@@ -1,0 +1,33 @@
+//! # hope-sim — workloads and the experiment harness
+//!
+//! One module per experiment of DESIGN.md's index, each exposing a config
+//! struct and a `run` function returning a plain result struct, plus
+//! [`table::Table`] for printing paper-style rows:
+//!
+//! | Module | Experiment | Paper artefact |
+//! |--------|-----------|----------------|
+//! | [`printer`]    | F1/F2 | Figures 1–2: the print-server call-streaming transformation |
+//! | [`chain`]      | E3    | the "up to 70 % RPC improvement" claim (companion paper \[11\]) |
+//! | [`waitfree`]   | E4    | §5's wait-free design criterion |
+//! | [`quadratic`]  | E5    | §6's "quadratic in the number of intervals and AIDs" |
+//! | [`rings`]      | F13/F14 | interference cycles and Algorithm 2's detection |
+//! | [`rollback`]   | E6    | rollback/replay cost vs. speculation depth |
+//! | [`scientific`] | E7    | optimistic convergence detection (\[6\]: scientific programming) |
+//! | [`replication`] | E8   | optimistic replication conflict churn (\[5\]) |
+//! | [`soak`]       | E9    | mixed load: latency percentiles under rollback pressure |
+//! | [`protocol`]   | T1    | Table 1 message accounting |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chain;
+pub mod printer;
+pub mod protocol;
+pub mod quadratic;
+pub mod replication;
+pub mod rings;
+pub mod rollback;
+pub mod scientific;
+pub mod soak;
+pub mod table;
+pub mod waitfree;

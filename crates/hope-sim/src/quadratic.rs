@@ -1,0 +1,142 @@
+//! E5 — the quadratic cost of dependency tracking.
+//!
+//! The paper's §6 promises a future analysis showing the algorithms are
+//! "quadratic in the number of intervals and AIDs associated with an
+//! affirm" (expecting N to be small). The mechanism is interval
+//! inheritance: interval *i* re-registers with every one of its *i*
+//! inherited assumptions, so a process that stacks N guesses sends
+//! ~N²/2 `Guess` messages, and the affirm-driven `Replace` waves are
+//! similarly quadratic.
+
+use bytes::Bytes;
+use hope_core::HopeEnv;
+use hope_runtime::NetworkConfig;
+use hope_types::{AidId, ProcessId, VirtualDuration};
+
+/// Measured message counts for one depth.
+#[derive(Debug, Clone, Copy)]
+pub struct QuadraticResult {
+    /// Number of stacked guesses (= live intervals = AIDs).
+    pub depth: u32,
+    /// `Guess` registrations sent.
+    pub guess_messages: u64,
+    /// `Replace` messages sent by AID processes.
+    pub replace_messages: u64,
+    /// Total HOPE protocol messages.
+    pub total_hope: u64,
+}
+
+fn encode_aids(aids: &[AidId]) -> Bytes {
+    let mut out = Vec::with_capacity(aids.len() * 8);
+    for aid in aids {
+        out.extend_from_slice(&aid.process().as_raw().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_aids(data: &[u8]) -> Vec<AidId> {
+    data.chunks_exact(8)
+        .map(|c| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(c);
+            AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(raw)))
+        })
+        .collect()
+}
+
+/// One guesser stacks `depth` nested guesses; a definite resolver then
+/// affirms every assumption. Returns the protocol message accounting.
+pub fn measure(depth: u32, seed: u64) -> QuadraticResult {
+    let mut env = HopeEnv::builder()
+        .seed(seed)
+        .network(NetworkConfig::lan())
+        .build();
+    let resolver = env.spawn_user("resolver", move |ctx| {
+        let m = ctx.receive(None);
+        let aids = decode_aids(&m.data);
+        // Give the guesser time to stack every interval first.
+        ctx.compute(VirtualDuration::from_millis(10));
+        for aid in aids {
+            ctx.affirm(aid);
+        }
+    });
+    env.spawn_user("guesser", move |ctx| {
+        let aids: Vec<AidId> = (0..depth).map(|_| ctx.aid_init()).collect();
+        ctx.send(resolver, 0, encode_aids(&aids));
+        for &aid in &aids {
+            let _ = ctx.guess(aid);
+        }
+    });
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    assert!(
+        report.run.blocked.is_empty(),
+        "all intervals must finalize: {:?}",
+        report.run.blocked
+    );
+    QuadraticResult {
+        depth,
+        guess_messages: report.run.stats.count_kind("Guess"),
+        replace_messages: report.run.stats.count_kind("Replace"),
+        total_hope: report.run.stats.total_hope(),
+    }
+}
+
+/// Sweeps guess depth and tabulates the quadratic growth.
+pub fn sweep(depths: &[u32], seed: u64) -> crate::table::Table {
+    let mut table = crate::table::Table::new(
+        "E5: dependency-tracking cost vs. speculation depth (quadratic, §6)",
+        &["depth N", "Guess msgs", "Replace msgs", "total HOPE msgs", "msgs/N"],
+    );
+    for &depth in depths {
+        let r = measure(depth, seed);
+        table.row(&[
+            format!("{depth}"),
+            format!("{}", r.guess_messages),
+            format!("{}", r.replace_messages),
+            format!("{}", r.total_hope),
+            format!("{:.1}", r.total_hope as f64 / depth.max(1) as f64),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn guess_registrations_are_triangular() {
+        // Interval i registers with i assumptions: sum = N(N+1)/2.
+        let r = measure(8, 1);
+        assert_eq!(r.guess_messages, 8 * 9 / 2);
+    }
+
+    #[test]
+    fn replace_wave_is_quadratic_too() {
+        // Each of the N affirms replaces the AID in every interval that
+        // depends on it: interval i holds i assumptions, so the total
+        // Replace volume is also triangular.
+        let r = measure(8, 1);
+        assert_eq!(r.replace_messages, 8 * 9 / 2);
+    }
+
+    #[test]
+    fn growth_is_superlinear() {
+        let a = measure(4, 1);
+        let b = measure(16, 1);
+        // 4× the depth must cost clearly more than 4× the messages.
+        assert!(
+            b.total_hope > a.total_hope * 8,
+            "expected quadratic growth: {} -> {}",
+            a.total_hope,
+            b.total_hope
+        );
+    }
+
+    #[test]
+    fn sweep_rows_match_depths() {
+        let t = sweep(&[2, 4, 8], 1);
+        assert_eq!(t.rows.len(), 3);
+    }
+}

@@ -1,0 +1,249 @@
+//! E9 — a mixed soak workload: many streaming clients, multiple servers,
+//! jittered links, imperfect predictors. Not a figure from the paper but
+//! the load profile a deployed HOPE would face; it measures client call
+//! latency percentiles and validates global correctness under sustained
+//! rollback pressure.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use hope_core::HopeEnv;
+use hope_rpc::{RpcServer, StreamingClient};
+use hope_runtime::NetworkConfig;
+use hope_types::{VirtualDuration, VirtualTime};
+
+/// Parameters of one soak run.
+#[derive(Debug, Clone, Copy)]
+pub struct SoakConfig {
+    /// Concurrent streaming clients.
+    pub clients: u32,
+    /// Echo-style servers, assigned round-robin.
+    pub servers: u32,
+    /// Calls per client.
+    pub calls_per_client: u32,
+    /// Predictor accuracy in [0, 1].
+    pub accuracy: f64,
+    /// Latency jitter bounds.
+    pub latency_min: VirtualDuration,
+    /// Upper jitter bound.
+    pub latency_max: VirtualDuration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for SoakConfig {
+    fn default() -> Self {
+        SoakConfig {
+            clients: 8,
+            servers: 2,
+            calls_per_client: 10,
+            accuracy: 0.9,
+            latency_min: VirtualDuration::from_micros(200),
+            latency_max: VirtualDuration::from_millis(2),
+            seed: 0,
+        }
+    }
+}
+
+/// Measured outcome of one soak run.
+#[derive(Debug, Clone)]
+pub struct SoakResult {
+    /// Per-call committed latencies (ms), across all clients.
+    pub call_latencies_ms: Vec<f64>,
+    /// Total rollbacks.
+    pub rollbacks: u64,
+    /// Virtual time at quiescence.
+    pub quiescent: VirtualTime,
+    /// True if every client's final accumulator matched the deterministic
+    /// reference.
+    pub all_correct: bool,
+}
+
+/// Stage function (same as the chain workload's, re-exported shape).
+fn mix(x: u64) -> u64 {
+    crate::chain::stage_fn(x)
+}
+
+/// Runs the soak. Each client chains `calls_per_client` dependent calls
+/// through its round-robin server with an accuracy-degraded predictor.
+pub fn run(cfg: SoakConfig) -> SoakResult {
+    let mut env = HopeEnv::builder()
+        .seed(cfg.seed)
+        .network(NetworkConfig::uniform(cfg.latency_min, cfg.latency_max))
+        .build();
+    let mut servers = Vec::new();
+    for s in 0..cfg.servers {
+        let pid = env.spawn_user(&format!("server-{s}"), |ctx| {
+            RpcServer::serve(ctx, |ctx, _method, body| {
+                ctx.compute(VirtualDuration::from_micros(20));
+                let x = u64::from_le_bytes(body[..8].try_into().unwrap());
+                Bytes::from(mix(x).to_le_bytes().to_vec())
+            });
+        });
+        servers.push(pid);
+    }
+    // Keyed by client, last write wins: a rollback arriving after the body
+    // finished re-executes it, and the re-execution's record supersedes.
+    let latencies: Arc<Mutex<BTreeMap<u32, Vec<f64>>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    let correct: Arc<Mutex<BTreeMap<u32, bool>>> = Arc::new(Mutex::new(BTreeMap::new()));
+    for c in 0..cfg.clients {
+        let server = servers[(c % cfg.servers) as usize];
+        let latencies = latencies.clone();
+        let correct = correct.clone();
+        let calls = cfg.calls_per_client;
+        let accuracy = cfg.accuracy;
+        env.spawn_user(&format!("client-{c}"), move |ctx| {
+            let mut value = 1 + c as u64;
+            let expected = {
+                let mut v = value;
+                for _ in 0..calls {
+                    v = mix(v);
+                }
+                v
+            };
+            let mut my_latencies = Vec::new();
+            for _ in 0..calls {
+                ctx.compute(VirtualDuration::from_micros(50));
+                let start = ctx.now();
+                let truth = mix(value);
+                let coin = (ctx.random() as f64) / (u64::MAX as f64);
+                let predicted = if coin < accuracy { truth } else { !truth };
+                let promise = StreamingClient::call(
+                    ctx,
+                    server,
+                    0,
+                    Bytes::from(value.to_le_bytes().to_vec()),
+                    Bytes::from(predicted.to_le_bytes().to_vec()),
+                );
+                let (reply, _) = promise.redeem(ctx);
+                value = u64::from_le_bytes(reply[..8].try_into().unwrap());
+                let elapsed = ctx.now() - start;
+                if !ctx.is_replaying() {
+                    my_latencies.push(elapsed.as_millis_f64());
+                }
+            }
+            if !ctx.is_replaying() {
+                latencies.lock().unwrap().insert(c, my_latencies.clone());
+                correct.lock().unwrap().insert(c, value == expected);
+            }
+        });
+    }
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    let call_latencies_ms: Vec<f64> = latencies
+        .lock()
+        .unwrap()
+        .values()
+        .flatten()
+        .copied()
+        .collect();
+    let flags = correct.lock().unwrap().clone();
+    SoakResult {
+        call_latencies_ms,
+        rollbacks: report.hope.rollbacks,
+        quiescent: report.run.now,
+        all_correct: flags.len() == cfg.clients as usize && flags.values().all(|&b| b),
+    }
+}
+
+/// Sweeps predictor accuracy and tabulates latency percentiles.
+pub fn sweep(accuracies: &[f64], cfg_base: SoakConfig) -> crate::table::Table {
+    let mut table = crate::table::Table::new(
+        "E9: mixed soak — call latency percentiles vs. predictor accuracy",
+        &["accuracy", "p50", "p90", "p99", "rollbacks", "correct"],
+    );
+    for &accuracy in accuracies {
+        let r = run(SoakConfig {
+            accuracy,
+            ..cfg_base
+        });
+        let p = |q| crate::table::percentile(&r.call_latencies_ms, q);
+        table.row(&[
+            format!("{accuracy:.2}"),
+            format!("{:.3}ms", p(0.5)),
+            format!("{:.3}ms", p(0.9)),
+            format!("{:.3}ms", p(0.99)),
+            format!("{}", r.rollbacks),
+            format!("{}", r.all_correct),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_give_zero_latency_calls() {
+        let r = run(SoakConfig {
+            accuracy: 1.0,
+            clients: 4,
+            calls_per_client: 5,
+            ..SoakConfig::default()
+        });
+        assert!(r.all_correct);
+        assert_eq!(r.rollbacks, 0);
+        assert!(
+            r.call_latencies_ms.iter().all(|&l| l == 0.0),
+            "every committed call should be wait-free"
+        );
+    }
+
+    #[test]
+    fn soak_stays_correct_under_heavy_misprediction() {
+        let r = run(SoakConfig {
+            accuracy: 0.3,
+            clients: 6,
+            calls_per_client: 8,
+            seed: 9,
+            ..SoakConfig::default()
+        });
+        assert!(r.all_correct, "rollback storms must not corrupt results");
+        assert!(r.rollbacks > 0);
+    }
+
+    #[test]
+    fn latency_percentiles_degrade_with_accuracy() {
+        let good = run(SoakConfig {
+            accuracy: 1.0,
+            ..SoakConfig::default()
+        });
+        let bad = run(SoakConfig {
+            accuracy: 0.0,
+            ..SoakConfig::default()
+        });
+        let p99_good = crate::table::percentile(&good.call_latencies_ms, 0.99);
+        let p99_bad = crate::table::percentile(&bad.call_latencies_ms, 0.99);
+        assert!(p99_bad > p99_good);
+        assert!(bad.all_correct);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SoakConfig {
+            accuracy: 0.7,
+            seed: 11,
+            ..SoakConfig::default()
+        };
+        let a = run(cfg);
+        let b = run(cfg);
+        assert_eq!(a.call_latencies_ms, b.call_latencies_ms);
+        assert_eq!(a.rollbacks, b.rollbacks);
+    }
+
+    #[test]
+    fn sweep_rows() {
+        let t = sweep(
+            &[1.0, 0.5],
+            SoakConfig {
+                clients: 3,
+                calls_per_client: 4,
+                ..SoakConfig::default()
+            },
+        );
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().all(|r| r[5] == "true"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The crate-family error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{AidId, IntervalId, ProcessId};
+
+/// Errors surfaced by HOPE primitives and the runtime.
+///
+/// The paper treats `affirm`/`deny` applied to an already-final AID as a
+/// "user error"; this implementation reports it as [`HopeError::FinalAid`]
+/// instead of aborting, so programs can observe and handle the contract
+/// violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HopeError {
+    /// `affirm` or `deny` was applied to an AID already in a terminal state
+    /// (`True` or `False`). The paper allows at most one affirm-or-deny per
+    /// assumption identifier.
+    FinalAid(AidId),
+    /// A message was addressed to a process the runtime does not know.
+    UnknownProcess(ProcessId),
+    /// A HOPE control message referred to an interval that is not in the
+    /// target process's history (e.g. already rolled back). Mostly internal:
+    /// stale messages are dropped, but APIs that look up intervals directly
+    /// report this.
+    UnknownInterval(IntervalId),
+    /// The runtime stopped before the operation could complete (e.g. the
+    /// simulation ran out of events or hit its step limit while a process
+    /// was still blocked in `receive`).
+    RuntimeStopped,
+    /// A user process panicked with a genuine (non-rollback) panic; the
+    /// payload's `Display` rendering is preserved.
+    ProcessPanicked(ProcessId, String),
+    /// A receive could not be replayed deterministically during rollback
+    /// re-execution: the process diverged from its logged prefix. This
+    /// indicates user code that is not deterministic relative to its
+    /// [`ProcessCtx`](https://docs.rs/hope-core) interactions.
+    ReplayDiverged {
+        /// The process whose re-execution diverged.
+        process: ProcessId,
+        /// Index of the logged operation where the divergence was detected.
+        op_index: usize,
+        /// Human-readable description of expected vs. actual operation.
+        detail: String,
+    },
+    /// Payload decoding failed (RPC layer).
+    Codec(String),
+}
+
+impl fmt::Display for HopeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopeError::FinalAid(aid) => {
+                write!(f, "assumption {aid} is already final; only one affirm or deny may be applied")
+            }
+            HopeError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
+            HopeError::UnknownInterval(iid) => write!(f, "interval {iid} is not in the history"),
+            HopeError::RuntimeStopped => write!(f, "runtime stopped before the operation completed"),
+            HopeError::ProcessPanicked(pid, msg) => {
+                write!(f, "process {pid} panicked: {msg}")
+            }
+            HopeError::ReplayDiverged {
+                process,
+                op_index,
+                detail,
+            } => write!(
+                f,
+                "replay diverged in {process} at operation {op_index}: {detail}"
+            ),
+            HopeError::Codec(msg) => write!(f, "payload codec error: {msg}"),
+        }
+    }
+}
+
+impl Error for HopeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    #[test]
+    fn display_is_informative() {
+        let aid = AidId::from_raw(ProcessId::from_raw(3));
+        let msg = HopeError::FinalAid(aid).to_string();
+        assert!(msg.contains("X3"));
+        assert!(msg.contains("final"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<HopeError>();
+    }
+
+    #[test]
+    fn replay_divergence_reports_location() {
+        let e = HopeError::ReplayDiverged {
+            process: ProcessId::from_raw(2),
+            op_index: 14,
+            detail: "expected Receive, got Send".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("P2"));
+        assert!(s.contains("14"));
+        assert!(s.contains("expected Receive"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Identifiers for processes, assumption identifiers and intervals.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity of a process (actor) registered with a HOPE runtime.
+///
+/// Both *user processes* and *AID processes* (the paper's `P_X`) are
+/// runtime processes and share this identifier space, mirroring the paper's
+/// PVM prototype in which assumption identifiers were implemented as
+/// ordinary PVM tasks.
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::ProcessId;
+/// let p = ProcessId::from_raw(3);
+/// assert_eq!(p.as_raw(), 3);
+/// assert_eq!(p.to_string(), "P3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(u64);
+
+impl ProcessId {
+    /// Builds a process id from its raw numeric value.
+    pub const fn from_raw(raw: u64) -> Self {
+        ProcessId(raw)
+    }
+
+    /// Returns the raw numeric value of this id.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// An **assumption identifier** — the paper's `AID x`.
+///
+/// An AID names one optimistic assumption. In this implementation, as in the
+/// paper's prototype, each AID is realized by a dedicated *AID process*
+/// whose [`ProcessId`] doubles as the assumption's identity: messages about
+/// the assumption are addressed to that process.
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::{AidId, ProcessId};
+/// let aid = AidId::from_raw(ProcessId::from_raw(12));
+/// assert_eq!(aid.process(), ProcessId::from_raw(12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AidId(ProcessId);
+
+impl AidId {
+    /// Wraps the [`ProcessId`] of an AID process as an assumption identifier.
+    pub const fn from_raw(pid: ProcessId) -> Self {
+        AidId(pid)
+    }
+
+    /// The AID process that tracks this assumption.
+    pub const fn process(self) -> ProcessId {
+        self.0
+    }
+}
+
+impl fmt::Display for AidId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.0.as_raw())
+    }
+}
+
+impl From<AidId> for ProcessId {
+    fn from(aid: AidId) -> ProcessId {
+        aid.process()
+    }
+}
+
+/// Identity of one **interval** in a user process's execution history.
+///
+/// An interval is the subsequence of a process's history between two
+/// executions of the `guess` primitive and is the smallest granularity of
+/// rollback. Interval ids order naturally: within one process, a larger
+/// `index` means a later (more speculative) interval.
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::{IntervalId, ProcessId};
+/// let p = ProcessId::from_raw(1);
+/// let a = IntervalId::new(p, 0);
+/// let b = IntervalId::new(p, 1);
+/// assert!(a < b);
+/// assert_eq!(b.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IntervalId {
+    process: ProcessId,
+    index: u32,
+}
+
+impl IntervalId {
+    /// Builds the id of interval number `index` of process `process`.
+    pub const fn new(process: ProcessId, index: u32) -> Self {
+        IntervalId { process, index }
+    }
+
+    /// The user process this interval belongs to.
+    pub const fn process(self) -> ProcessId {
+        self.process
+    }
+
+    /// Position of this interval within its process's history (0-based).
+    pub const fn index(self) -> u32 {
+        self.index
+    }
+}
+
+impl fmt::Display for IntervalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.process, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_roundtrip() {
+        let p = ProcessId::from_raw(42);
+        assert_eq!(p.as_raw(), 42);
+        assert_eq!(format!("{p}"), "P42");
+    }
+
+    #[test]
+    fn aid_id_wraps_process() {
+        let p = ProcessId::from_raw(7);
+        let a = AidId::from_raw(p);
+        assert_eq!(a.process(), p);
+        assert_eq!(ProcessId::from(a), p);
+        assert_eq!(format!("{a}"), "X7");
+    }
+
+    #[test]
+    fn interval_ordering_within_process() {
+        let p = ProcessId::from_raw(1);
+        assert!(IntervalId::new(p, 0) < IntervalId::new(p, 5));
+        assert_eq!(IntervalId::new(p, 5).index(), 5);
+        assert_eq!(IntervalId::new(p, 5).process(), p);
+    }
+
+    #[test]
+    fn interval_ordering_across_processes_is_by_process_first() {
+        let a = IntervalId::new(ProcessId::from_raw(1), 9);
+        let b = IntervalId::new(ProcessId::from_raw(2), 0);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", IntervalId::new(ProcessId::from_raw(0), 0)).is_empty());
+    }
+
+    #[test]
+    fn ids_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ProcessId>();
+        assert_send_sync::<AidId>();
+        assert_send_sync::<IntervalId>();
+    }
+}

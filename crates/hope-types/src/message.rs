@@ -1,0 +1,329 @@
+//! Message formats: the HOPE protocol messages of the paper's Table 1,
+//! tagged user messages, and the runtime envelope that carries both.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{AidId, IdoSet, IntervalId, ProcessId, VirtualTime};
+
+/// The dependency tag piggy-backed on every user message.
+///
+/// "A speculative process tags the messages it sends with the set of AIDs
+/// that it depends on. Receivers implicitly apply guess primitives to each
+/// of the AIDs in the message's tag." (§3)
+pub type DepTag = IdoSet;
+
+/// One of the five HOPE protocol messages (paper, Table 1).
+///
+/// | Variant    | From | To   | Meaning                                    |
+/// |------------|------|------|--------------------------------------------|
+/// | `Guess`    | User | AID  | sender guesses the AID is true             |
+/// | `Affirm`   | User | AID  | sender affirms the AID, subject to `ido`   |
+/// | `Deny`     | User | AID  | sender denies the AID unconditionally      |
+/// | `Replace`  | AID  | User | replace the sending AID with `ido` in the  |
+/// |            |      |      | target interval's IDO set                  |
+/// | `Rollback` | AID  | User | roll back the target interval              |
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::{HopeMessage, IntervalId, ProcessId};
+/// let iid = IntervalId::new(ProcessId::from_raw(1), 0);
+/// let m = HopeMessage::Guess { iid };
+/// assert_eq!(m.interval(), iid);
+/// assert_eq!(m.kind(), "Guess");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum HopeMessage {
+    /// `<Guess, iid>` — the interval `iid` guesses that the destination AID
+    /// is true and asks to be notified of its terminal state.
+    Guess {
+        /// The guessing interval, to be recorded in the AID's `DOM` set.
+        iid: IntervalId,
+    },
+    /// `<Affirm, iid, IDO>` — assert the destination AID's assumption is
+    /// true, subject to every AID in `ido` also being affirmed. An empty
+    /// `ido` is a *definite* (unconditional) affirm.
+    Affirm {
+        /// The affirming interval (`None` when sent by `finalize`, whose
+        /// affirms are definite and no longer tied to a live interval).
+        iid: Option<IntervalId>,
+        /// The affirming interval's IDO set at the time of the affirm.
+        ido: IdoSet,
+    },
+    /// `<Deny, iid>` — assert the destination AID's assumption is false.
+    /// Denies are always unconditional; speculative denies are buffered in
+    /// `IHD` until the denying interval is definite (paper, footnote 1).
+    Deny {
+        /// The denying interval (`None` when sent by `finalize`).
+        iid: Option<IntervalId>,
+    },
+    /// `<Replace, iid, IDO>` — replace the sending AID with `ido` in
+    /// interval `iid`'s IDO set. An empty `ido` means the sending AID has
+    /// reached state `True` and the dependency simply disappears.
+    Replace {
+        /// The interval whose IDO set must be updated.
+        iid: IntervalId,
+        /// The replacement set (the AID's `A_IDO`, or empty on `True`).
+        ido: IdoSet,
+    },
+    /// `<Retain>` — reference-counting extension (paper §5: "Reference
+    /// counting can garbage collect old AID processes"): the sender holds
+    /// an additional reference to the destination AID.
+    Retain,
+    /// `<Release>` — the sender drops a reference; an AID in a terminal
+    /// state with no remaining references stops its process.
+    Release,
+    /// `<Rollback, iid>` — roll back interval `iid` and every subsequent
+    /// interval of its process.
+    Rollback {
+        /// The first interval to discard.
+        iid: IntervalId,
+        /// The denied assumption that triggered the rollback, when known.
+        /// Lets the receiving Control decide whether the boundary `guess`
+        /// should return `false` (its own assumption died) or be re-issued
+        /// (a transitively acquired dependency died) — see
+        /// `GuessRollbackPolicy` in `hope-core`.
+        cause: Option<AidId>,
+    },
+}
+
+impl HopeMessage {
+    /// The interval this message concerns: the target interval for
+    /// `Replace`/`Rollback`, the sending interval for `Guess`, and the
+    /// sending interval (or a synthetic definite id) for `Affirm`/`Deny`.
+    pub fn interval(&self) -> IntervalId {
+        match self {
+            HopeMessage::Guess { iid }
+            | HopeMessage::Replace { iid, .. }
+            | HopeMessage::Rollback { iid, .. } => *iid,
+            HopeMessage::Affirm { iid, .. } | HopeMessage::Deny { iid } => {
+                iid.unwrap_or(IntervalId::new(ProcessId::from_raw(u64::MAX), 0))
+            }
+            HopeMessage::Retain | HopeMessage::Release => {
+                IntervalId::new(ProcessId::from_raw(u64::MAX), 0)
+            }
+        }
+    }
+
+    /// Short name of the message type, matching the paper's Table 1.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            HopeMessage::Guess { .. } => "Guess",
+            HopeMessage::Affirm { .. } => "Affirm",
+            HopeMessage::Deny { .. } => "Deny",
+            HopeMessage::Replace { .. } => "Replace",
+            HopeMessage::Retain => "Retain",
+            HopeMessage::Release => "Release",
+            HopeMessage::Rollback { .. } => "Rollback",
+        }
+    }
+}
+
+impl fmt::Display for HopeMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HopeMessage::Guess { iid } => write!(f, "<Guess, {iid}>"),
+            HopeMessage::Affirm { iid: Some(i), ido } => write!(f, "<Affirm, {i}, {ido}>"),
+            HopeMessage::Affirm { iid: None, ido } => write!(f, "<Affirm, definite, {ido}>"),
+            HopeMessage::Deny { iid: Some(i) } => write!(f, "<Deny, {i}>"),
+            HopeMessage::Deny { iid: None } => write!(f, "<Deny, definite>"),
+            HopeMessage::Replace { iid, ido } => write!(f, "<Replace, {iid}, {ido}>"),
+            HopeMessage::Retain => write!(f, "<Retain>"),
+            HopeMessage::Release => write!(f, "<Release>"),
+            HopeMessage::Rollback { iid, cause: Some(c) } => {
+                write!(f, "<Rollback, {iid}, cause={c}>")
+            }
+            HopeMessage::Rollback { iid, cause: None } => write!(f, "<Rollback, {iid}>"),
+        }
+    }
+}
+
+/// An application-level message exchanged between user processes.
+///
+/// The `tag` carries the sender's dependency set; the receiving HOPElib
+/// implicitly guesses every AID in it before handing `data` to user code.
+/// `channel` is an application-chosen demultiplexing key (e.g. the RPC
+/// layer uses it to separate requests from replies).
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use hope_types::UserMessage;
+/// let m = UserMessage::new(0, Bytes::from_static(b"hello"));
+/// assert!(m.tag.is_empty());
+/// assert_eq!(&m.data[..], b"hello");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserMessage {
+    /// Application demultiplexing channel.
+    pub channel: u32,
+    /// Opaque payload.
+    pub data: Bytes,
+    /// AIDs the sender depended on when sending (implicit-guess tag).
+    pub tag: DepTag,
+}
+
+impl UserMessage {
+    /// Builds an untagged user message on `channel`.
+    pub fn new(channel: u32, data: Bytes) -> Self {
+        UserMessage {
+            channel,
+            data,
+            tag: DepTag::new(),
+        }
+    }
+
+    /// Builds a tagged user message; normally the HOPElib attaches the tag.
+    pub fn tagged(channel: u32, data: Bytes, tag: DepTag) -> Self {
+        UserMessage { channel, data, tag }
+    }
+}
+
+/// What an [`Envelope`] carries: either an application message or a HOPE
+/// protocol message. The runtime delivers `User` payloads to the process's
+/// receive queue and `Hope` payloads to the process's HOPElib `Control`
+/// function, mirroring the interception of Figure 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Payload {
+    /// An application message for user code.
+    User(UserMessage),
+    /// A HOPE protocol message for the HOPElib / AID state machine.
+    Hope(HopeMessage),
+}
+
+impl Payload {
+    /// True if this payload is a HOPE protocol message.
+    pub fn is_hope(&self) -> bool {
+        matches!(self, Payload::Hope(_))
+    }
+}
+
+/// A message in flight between two runtime processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Sending process.
+    pub src: ProcessId,
+    /// Destination process.
+    pub dst: ProcessId,
+    /// Virtual instant at which the message was sent.
+    pub sent_at: VirtualTime,
+    /// Per-sender sequence number (FIFO per link).
+    pub seq: u64,
+    /// The carried message.
+    pub payload: Payload,
+}
+
+/// Helper for building the synthetic interval id used by definite
+/// affirms/denies in traces.
+pub fn definite_interval() -> IntervalId {
+    IntervalId::new(ProcessId::from_raw(u64::MAX), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iid(p: u64, i: u32) -> IntervalId {
+        IntervalId::new(ProcessId::from_raw(p), i)
+    }
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(ProcessId::from_raw(n))
+    }
+
+    #[test]
+    fn kind_matches_table_1() {
+        assert_eq!(HopeMessage::Guess { iid: iid(1, 0) }.kind(), "Guess");
+        assert_eq!(
+            HopeMessage::Affirm {
+                iid: Some(iid(1, 0)),
+                ido: IdoSet::new()
+            }
+            .kind(),
+            "Affirm"
+        );
+        assert_eq!(HopeMessage::Deny { iid: None }.kind(), "Deny");
+        assert_eq!(
+            HopeMessage::Replace {
+                iid: iid(1, 0),
+                ido: IdoSet::new()
+            }
+            .kind(),
+            "Replace"
+        );
+        assert_eq!(
+            HopeMessage::Rollback {
+                iid: iid(1, 0),
+                cause: None
+            }
+            .kind(),
+            "Rollback"
+        );
+    }
+
+    #[test]
+    fn interval_extraction() {
+        let m = HopeMessage::Replace {
+            iid: iid(2, 3),
+            ido: IdoSet::new(),
+        };
+        assert_eq!(m.interval(), iid(2, 3));
+        let definite = HopeMessage::Deny { iid: None };
+        assert_eq!(definite.interval(), definite_interval());
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = HopeMessage::Affirm {
+            iid: Some(iid(1, 2)),
+            ido: [aid(5)].into_iter().collect(),
+        };
+        assert_eq!(m.to_string(), "<Affirm, P1#2, {X5}>");
+        assert_eq!(
+            HopeMessage::Rollback {
+                iid: iid(1, 2),
+                cause: None
+            }
+            .to_string(),
+            "<Rollback, P1#2>"
+        );
+        assert_eq!(
+            HopeMessage::Rollback {
+                iid: iid(1, 2),
+                cause: Some(aid(3))
+            }
+            .to_string(),
+            "<Rollback, P1#2, cause=X3>"
+        );
+    }
+
+    #[test]
+    fn user_message_builders() {
+        let plain = UserMessage::new(7, Bytes::from_static(b"x"));
+        assert_eq!(plain.channel, 7);
+        assert!(plain.tag.is_empty());
+        let tag: DepTag = [aid(1)].into_iter().collect();
+        let tagged = UserMessage::tagged(7, Bytes::new(), tag.clone());
+        assert_eq!(tagged.tag, tag);
+    }
+
+    #[test]
+    fn payload_discrimination() {
+        assert!(Payload::Hope(HopeMessage::Deny { iid: None }).is_hope());
+        assert!(!Payload::User(UserMessage::new(0, Bytes::new())).is_hope());
+    }
+
+    #[test]
+    fn hope_message_serde_roundtrip() {
+        let m = HopeMessage::Replace {
+            iid: iid(4, 9),
+            ido: [aid(1), aid(2)].into_iter().collect(),
+        };
+        let json = serde_json::to_string(&m).unwrap();
+        let back: HopeMessage = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

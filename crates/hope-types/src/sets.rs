@@ -1,0 +1,293 @@
+//! Dependency-tracking sets.
+//!
+//! HOPE's bookkeeping is entirely set-algebraic: each interval keeps an
+//! `IDO` (I Depend On), `UDO` (Used to Depend On), `IHA` (I Have Affirmed)
+//! and `IHD` (I Have Denied) set, and each AID process keeps a `DOM`
+//! (Depends On Me) and `A_IDO` (Affirm-I-Depend-On) set. All of them are
+//! small, so they are represented as sorted vectors ([`IdSet`]), which keeps
+//! iteration order deterministic — essential for the reproducible simulator.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::{AidId, IntervalId};
+
+/// A sorted-vector set of copyable ids with deterministic iteration order.
+///
+/// Used for every dependency set in the HOPE algorithm. Operations are
+/// `O(log n)` membership / `O(n)` mutation, which is ideal for the small
+/// sets the algorithm manipulates (the paper expects "N to be small").
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::IdSet;
+///
+/// let mut s: IdSet<u32> = [3, 1, 2].into_iter().collect();
+/// assert_eq!(s.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+/// assert!(s.insert(4));
+/// assert!(!s.insert(4)); // already present
+/// assert!(s.remove(&1));
+/// assert!(!s.contains(&1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct IdSet<T> {
+    items: Vec<T>,
+}
+
+/// The paper's `IDO` / `UDO` / `A_IDO` / `IHA` / `IHD` sets: sets of
+/// assumption identifiers.
+pub type IdoSet = IdSet<AidId>;
+
+/// The paper's `DOM` set: the intervals contingent on an AID.
+pub type IntervalSet = IdSet<IntervalId>;
+
+impl<T> IdSet<T> {
+    /// Creates an empty set.
+    pub const fn new() -> Self {
+        IdSet { items: Vec::new() }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the set has no members.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates members in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Members as an ordered slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Removes all members.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+impl<T: Ord + Copy> IdSet<T> {
+    /// Inserts `item`; returns `true` if it was not already present.
+    pub fn insert(&mut self, item: T) -> bool {
+        match self.items.binary_search(&item) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, item);
+                true
+            }
+        }
+    }
+
+    /// Removes `item`; returns `true` if it was present.
+    pub fn remove(&mut self, item: &T) -> bool {
+        match self.items.binary_search(item) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// True if `item` is a member.
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.binary_search(item).is_ok()
+    }
+
+    /// Set union, consuming neither operand.
+    pub fn union(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for &item in other.iter() {
+            out.insert(item);
+        }
+        out
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &Self) -> Self {
+        IdSet {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|i| !other.contains(i))
+                .collect(),
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &Self) -> Self {
+        IdSet {
+            items: self
+                .items
+                .iter()
+                .copied()
+                .filter(|i| other.contains(i))
+                .collect(),
+        }
+    }
+
+    /// True if every member of `self` is in `other`.
+    pub fn is_subset(&self, other: &Self) -> bool {
+        self.items.iter().all(|i| other.contains(i))
+    }
+
+    /// True if the two sets share no members.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.items.iter().all(|i| !other.contains(i))
+    }
+
+    /// Builds a set with a single member.
+    pub fn singleton(item: T) -> Self {
+        IdSet { items: vec![item] }
+    }
+}
+
+impl<T> Default for IdSet<T> {
+    fn default() -> Self {
+        IdSet::new()
+    }
+}
+
+impl<T: Ord + Copy> FromIterator<T> for IdSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut set = IdSet::new();
+        for item in iter {
+            set.insert(item);
+        }
+        set
+    }
+}
+
+impl<T: Ord + Copy> Extend<T> for IdSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            self.insert(item);
+        }
+    }
+}
+
+impl<'a, T> IntoIterator for &'a IdSet<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T> IntoIterator for IdSet<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for IdSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ProcessId;
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(ProcessId::from_raw(n))
+    }
+
+    #[test]
+    fn insert_keeps_sorted_unique() {
+        let mut s = IdSet::new();
+        assert!(s.insert(5u32));
+        assert!(s.insert(1));
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert_eq!(s.as_slice(), &[1, 3, 5]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut s: IdSet<u32> = [1, 2, 3].into_iter().collect();
+        assert!(s.remove(&2));
+        assert!(!s.remove(&2));
+        assert!(s.contains(&1));
+        assert!(!s.contains(&2));
+        assert!(s.contains(&3));
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let a: IdSet<u32> = [1, 2, 3].into_iter().collect();
+        let b: IdSet<u32> = [3, 4].into_iter().collect();
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 3, 4]);
+        assert_eq!(a.difference(&b).as_slice(), &[1, 2]);
+        assert_eq!(a.intersection(&b).as_slice(), &[3]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a: IdSet<u32> = [1, 2].into_iter().collect();
+        let b: IdSet<u32> = [1, 2, 3].into_iter().collect();
+        let c: IdSet<u32> = [9].into_iter().collect();
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(IdSet::<u32>::new().is_subset(&a));
+    }
+
+    #[test]
+    fn clear_and_empty() {
+        let mut s: IdSet<u32> = [1].into_iter().collect();
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s, IdSet::default());
+    }
+
+    #[test]
+    fn singleton_constructor() {
+        let s = IdSet::singleton(7u32);
+        assert_eq!(s.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn extend_and_collect_with_aids() {
+        let mut s: IdoSet = [aid(3), aid(1)].into_iter().collect();
+        s.extend([aid(2), aid(1)]);
+        assert_eq!(s.as_slice(), &[aid(1), aid(2), aid(3)]);
+    }
+
+    #[test]
+    fn display_format() {
+        let s: IdoSet = [aid(1), aid(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{X1, X2}");
+        assert_eq!(IdoSet::new().to_string(), "{}");
+    }
+
+    #[test]
+    fn into_iter_orders() {
+        let s: IdSet<u32> = [3, 1].into_iter().collect();
+        let v: Vec<u32> = s.into_iter().collect();
+        assert_eq!(v, vec![1, 3]);
+    }
+}

@@ -1,0 +1,277 @@
+//! Virtual time for the deterministic simulated runtime.
+//!
+//! The HOPE paper motivates optimism by the cost of communication latency
+//! (e.g. the 30 ms transcontinental round trip of its §3.1). To measure how
+//! much latency the optimistic primitives avoid, the simulated runtime keeps
+//! a nanosecond-resolution *virtual clock*: message delivery and explicit
+//! compute steps advance it, everything else is free. Wall-clock runtimes
+//! map these types onto [`std::time::Duration`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+use std::time::Duration;
+
+/// An instant of virtual time, in nanoseconds since the start of the run.
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::{VirtualDuration, VirtualTime};
+/// let t = VirtualTime::ZERO + VirtualDuration::from_millis(30);
+/// assert_eq!(t.as_nanos(), 30_000_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+///
+/// # Examples
+///
+/// ```
+/// use hope_types::VirtualDuration;
+/// let d = VirtualDuration::from_micros(100) * 3;
+/// assert_eq!(d.as_nanos(), 300_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct VirtualDuration(u64);
+
+impl VirtualTime {
+    /// The origin of virtual time.
+    pub const ZERO: VirtualTime = VirtualTime(0);
+
+    /// Builds an instant from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        VirtualTime(nanos)
+    }
+
+    /// This instant as raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This instant as (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is later than self"),
+        )
+    }
+
+    /// Saturating version of [`VirtualTime::duration_since`]: returns zero
+    /// instead of panicking.
+    pub fn saturating_duration_since(self, earlier: VirtualTime) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl VirtualDuration {
+    /// The empty span.
+    pub const ZERO: VirtualDuration = VirtualDuration(0);
+
+    /// Builds a span from raw nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        VirtualDuration(nanos)
+    }
+
+    /// Builds a span from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        VirtualDuration(micros * 1_000)
+    }
+
+    /// Builds a span from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        VirtualDuration(millis * 1_000_000)
+    }
+
+    /// Builds a span from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        VirtualDuration(secs * 1_000_000_000)
+    }
+
+    /// This span as raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This span as (fractional) milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This span as (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<VirtualDuration> for VirtualTime {
+    type Output = VirtualTime;
+    fn add(self, rhs: VirtualDuration) -> VirtualTime {
+        VirtualTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<VirtualDuration> for VirtualTime {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<VirtualTime> for VirtualTime {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualTime) -> VirtualDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for VirtualDuration {
+    type Output = VirtualDuration;
+    fn add(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VirtualDuration {
+    fn add_assign(&mut self, rhs: VirtualDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VirtualDuration {
+    type Output = VirtualDuration;
+    fn sub(self, rhs: VirtualDuration) -> VirtualDuration {
+        VirtualDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn mul(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for VirtualDuration {
+    type Output = VirtualDuration;
+    fn div(self, rhs: u64) -> VirtualDuration {
+        VirtualDuration(self.0 / rhs)
+    }
+}
+
+impl From<Duration> for VirtualDuration {
+    fn from(d: Duration) -> Self {
+        VirtualDuration(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl From<VirtualDuration> for Duration {
+    fn from(d: VirtualDuration) -> Self {
+        Duration::from_nanos(d.0)
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for VirtualDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}µs", self.0 as f64 / 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_correctly() {
+        assert_eq!(VirtualDuration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(VirtualDuration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(VirtualDuration::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = VirtualTime::ZERO;
+        let t1 = t0 + VirtualDuration::from_millis(5);
+        assert_eq!(t1 - t0, VirtualDuration::from_millis(5));
+        assert_eq!(t1.duration_since(t0).as_millis_f64(), 5.0);
+    }
+
+    #[test]
+    fn saturating_duration_since_never_panics() {
+        let early = VirtualTime::from_nanos(10);
+        let late = VirtualTime::from_nanos(20);
+        assert_eq!(early.saturating_duration_since(late), VirtualDuration::ZERO);
+        assert_eq!(
+            late.saturating_duration_since(early),
+            VirtualDuration::from_nanos(10)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duration_since")]
+    fn duration_since_panics_when_reversed() {
+        let early = VirtualTime::from_nanos(10);
+        let late = VirtualTime::from_nanos(20);
+        let _ = early.duration_since(late);
+    }
+
+    #[test]
+    fn duration_scalar_ops() {
+        let d = VirtualDuration::from_micros(10);
+        assert_eq!((d * 4).as_nanos(), 40_000);
+        assert_eq!((d / 2).as_nanos(), 5_000);
+        assert_eq!((d + d).as_nanos(), 20_000);
+        assert_eq!((d - d), VirtualDuration::ZERO);
+        // Subtraction saturates rather than wrapping.
+        assert_eq!(VirtualDuration::ZERO - d, VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn std_duration_conversions() {
+        let d: VirtualDuration = Duration::from_millis(3).into();
+        assert_eq!(d, VirtualDuration::from_millis(3));
+        let back: Duration = d.into();
+        assert_eq!(back, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(VirtualDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(VirtualDuration::from_micros(5).to_string(), "5.000µs");
+        assert_eq!(VirtualDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(VirtualDuration::from_secs(5).to_string(), "5.000s");
+    }
+}

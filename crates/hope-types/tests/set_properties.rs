@@ -1,0 +1,112 @@
+//! Property-based tests of the dependency-set algebra ([`IdSet`]): the
+//! HOPE algorithm is set manipulation all the way down, so the laws the
+//! proofs rely on must hold for every input, not just the unit cases.
+
+use hope_types::IdSet;
+use proptest::prelude::*;
+
+fn set(items: &[u16]) -> IdSet<u16> {
+    items.iter().copied().collect()
+}
+
+proptest! {
+    #[test]
+    fn iteration_is_sorted_and_unique(items in proptest::collection::vec(any::<u16>(), 0..50)) {
+        let s = set(&items);
+        let v: Vec<u16> = s.iter().copied().collect();
+        let mut expected = items.clone();
+        expected.sort();
+        expected.dedup();
+        prop_assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn insert_then_contains(items in proptest::collection::vec(any::<u16>(), 0..50), probe in any::<u16>()) {
+        let mut s = set(&items);
+        let was_new = s.insert(probe);
+        prop_assert_eq!(was_new, !items.contains(&probe));
+        prop_assert!(s.contains(&probe));
+    }
+
+    #[test]
+    fn remove_inverts_insert(items in proptest::collection::vec(any::<u16>(), 0..50), probe in any::<u16>()) {
+        let mut s = set(&items);
+        let had = s.contains(&probe);
+        let removed = s.remove(&probe);
+        prop_assert_eq!(removed, had);
+        prop_assert!(!s.contains(&probe));
+    }
+
+    #[test]
+    fn union_is_commutative_and_idempotent(
+        a in proptest::collection::vec(any::<u16>(), 0..30),
+        b in proptest::collection::vec(any::<u16>(), 0..30),
+    ) {
+        let (sa, sb) = (set(&a), set(&b));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        prop_assert_eq!(sa.union(&sa), sa.clone());
+        prop_assert!(sa.is_subset(&sa.union(&sb)));
+        prop_assert!(sb.is_subset(&sa.union(&sb)));
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(
+        a in proptest::collection::vec(any::<u16>(), 0..30),
+        b in proptest::collection::vec(any::<u16>(), 0..30),
+    ) {
+        let (sa, sb) = (set(&a), set(&b));
+        let diff = sa.difference(&sb);
+        let inter = sa.intersection(&sb);
+        // diff ∪ inter == a, diff ∩ b == ∅, inter ⊆ b
+        prop_assert_eq!(diff.union(&inter), sa.clone());
+        prop_assert!(diff.is_disjoint(&sb));
+        prop_assert!(inter.is_subset(&sb));
+    }
+
+    #[test]
+    fn subset_antisymmetry(
+        a in proptest::collection::vec(any::<u16>(), 0..30),
+        b in proptest::collection::vec(any::<u16>(), 0..30),
+    ) {
+        let (sa, sb) = (set(&a), set(&b));
+        if sa.is_subset(&sb) && sb.is_subset(&sa) {
+            prop_assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn len_matches_reality(items in proptest::collection::vec(any::<u16>(), 0..50)) {
+        let s = set(&items);
+        let mut dedup = items.clone();
+        dedup.sort();
+        dedup.dedup();
+        prop_assert_eq!(s.len(), dedup.len());
+        prop_assert_eq!(s.is_empty(), dedup.is_empty());
+    }
+
+    /// The Control replace rule's core step — remove the sender, add the
+    /// replacement minus UDO — never lets a set grow beyond the union and
+    /// never resurrects the removed sender from the replacement's leftovers.
+    #[test]
+    fn replace_step_bounds(
+        ido in proptest::collection::vec(any::<u16>(), 0..20),
+        rep in proptest::collection::vec(any::<u16>(), 0..20),
+        udo in proptest::collection::vec(any::<u16>(), 0..20),
+        sender in any::<u16>(),
+    ) {
+        let mut s = set(&ido);
+        let udo = set(&udo);
+        for &y in set(&rep).iter() {
+            if udo.contains(&y) {
+                continue;
+            }
+            s.insert(y);
+        }
+        s.remove(&sender);
+        prop_assert!(!s.contains(&sender));
+        let bound = set(&ido).union(&set(&rep));
+        prop_assert!(s.is_subset(&bound));
+        prop_assert!(s.intersection(&udo).is_subset(&set(&ido)),
+            "UDO members can only remain if they were already present");
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the four HOPE primitives in one small program.
+//!
+//! A guesser makes an optimistic assumption and runs ahead; a remote
+//! verifier affirms or denies it after doing the real check. Run with:
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use hope::prelude::*;
+
+fn main() {
+    let mut env = HopeEnv::builder()
+        .seed(7)
+        .network(hope::hope_runtime::NetworkConfig::wan())
+        .build();
+
+    let log: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The verifier: receives an assumption identifier and, after 5 ms of
+    // "verification work", decides it was wrong.
+    let vlog = log.clone();
+    let verifier = env.spawn_user("verifier", move |ctx| {
+        let msg = ctx.receive(None);
+        let aid = AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(
+            msg.data[..8].try_into().unwrap(),
+        )));
+        ctx.compute(VirtualDuration::from_millis(5));
+        vlog.lock().unwrap().push(format!(
+            "[{}] verifier: the assumption does NOT hold — deny",
+            ctx.now()
+        ));
+        ctx.deny(aid);
+    });
+
+    // The guesser: assumes success, runs ahead, and is rolled back onto
+    // the pessimistic path when the deny lands.
+    let glog = log.clone();
+    env.spawn_user("guesser", move |ctx| {
+        let x = ctx.aid_init();
+        ctx.send(
+            verifier,
+            0,
+            Bytes::from(x.process().as_raw().to_le_bytes().to_vec()),
+        );
+        if ctx.guess(x) {
+            glog.lock()
+                .unwrap()
+                .push(format!("[{}] guesser: optimistic path (speculative)", ctx.now()));
+            // Plenty of useful work happens here while the verifier works…
+            ctx.compute(VirtualDuration::from_millis(50));
+            glog.lock()
+                .unwrap()
+                .push(format!("[{}] guesser: finished optimistic work", ctx.now()));
+        } else {
+            glog.lock()
+                .unwrap()
+                .push(format!("[{}] guesser: pessimistic path (after rollback)", ctx.now()));
+        }
+    });
+
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+
+    println!("--- event log (virtual time) ---");
+    for line in log.lock().unwrap().iter() {
+        println!("{line}");
+    }
+    println!("--- metrics ---");
+    println!("{}", report.hope);
+    assert_eq!(report.hope.rollbacks, 1, "exactly one interval rolled back");
+    println!("\nThe optimistic branch ran eagerly, was rolled back when the");
+    println!("assumption was denied, and the pessimistic branch replaced it —");
+    println!("with no explicit bookkeeping in the user code.");
+}

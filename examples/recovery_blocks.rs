@@ -1,0 +1,137 @@
+//! Recovery blocks via optimism — the paper's §6 pointer to
+//! application-oriented software fault tolerance \[18\].
+//!
+//! The classic recovery-block pattern runs a *primary* algorithm, applies
+//! an acceptance test, and falls back to an *alternate* algorithm if the
+//! test fails. With HOPE the acceptance test runs **in parallel** on
+//! another process while downstream work proceeds on the primary's result;
+//! a failed test denies the assumption and the fallback replaces the
+//! primary's effects everywhere, transitively. Run with:
+//!
+//! ```sh
+//! cargo run --example recovery_blocks
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use bytes::{BufMut, BytesMut};
+use hope::prelude::*;
+
+/// The primary algorithm: a fast approximate integer square root
+/// (deliberately buggy for large inputs).
+fn primary_isqrt(x: u64) -> u64 {
+    // Newton's method with a bad initial guess and too few iterations —
+    // fast, usually right, wrong for some inputs.
+    if x < 2 {
+        return x;
+    }
+    let mut r = x >> ((63 - x.leading_zeros()) / 2);
+    for _ in 0..3 {
+        r = (r + x / r) / 2;
+    }
+    r
+}
+
+/// The alternate algorithm: slow but correct.
+fn alternate_isqrt(x: u64) -> u64 {
+    let mut r = 0u64;
+    while (r + 1) * (r + 1) <= x {
+        r += 1;
+    }
+    r
+}
+
+/// The acceptance test.
+fn acceptable(x: u64, r: u64) -> bool {
+    r * r <= x && (r + 1) * (r + 1) > x
+}
+
+fn main() {
+    let mut env = HopeEnv::builder().seed(13).build();
+    let inputs: Vec<u64> = vec![16, 1_000_003, 99, 123_456_789, 2, 7_777_777];
+    let n = inputs.len();
+
+    // Downstream consumer: sums the (possibly speculative) results; wrong
+    // primaries are rolled back out from under it and replaced.
+    let total = Arc::new(Mutex::new(0u64));
+    let t = total.clone();
+    let consumer = env.spawn_user("consumer", move |ctx| {
+        let mut sum = 0u64;
+        for _ in 0..n {
+            let msg = ctx.receive(None);
+            sum += u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+        }
+        if !ctx.is_replaying() {
+            *t.lock().unwrap() = sum;
+        }
+    });
+
+    // Acceptance tester: runs the (expensive) test off the critical path.
+    let tester = env.spawn_user("acceptance-test", move |ctx| {
+        for _ in 0..n {
+            let msg = ctx.receive(None);
+            let f: Vec<u64> = msg
+                .data
+                .chunks_exact(8)
+                .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            let (aid_raw, x, r) = (f[0], f[1], f[2]);
+            let aid = AidId::from_raw(ProcessId::from_raw(aid_raw));
+            ctx.compute(VirtualDuration::from_millis(1)); // the test itself
+            if acceptable(x, r) {
+                ctx.affirm(aid);
+            } else {
+                ctx.deny(aid);
+            }
+        }
+    });
+
+    // The worker: primary result speculatively, alternate on rollback.
+    let fallbacks = Arc::new(Mutex::new(0u32));
+    let fb = fallbacks.clone();
+    let worker_inputs = inputs.clone();
+    env.spawn_user("worker", move |ctx| {
+        for &x in &worker_inputs {
+            let ok = ctx.aid_init();
+            let fast = primary_isqrt(x);
+            // Ship the primary result for testing…
+            let mut b = BytesMut::with_capacity(24);
+            b.put_u64_le(ok.process().as_raw());
+            b.put_u64_le(x);
+            b.put_u64_le(fast);
+            ctx.send(tester, 0, b.freeze());
+            // …and proceed on it optimistically.
+            let result = if ctx.guess(ok) {
+                fast
+            } else {
+                // Acceptance test failed: the alternate block.
+                if !ctx.is_replaying() {
+                    *fb.lock().unwrap() += 1;
+                }
+                alternate_isqrt(x)
+            };
+            let mut out = BytesMut::with_capacity(8);
+            out.put_u64_le(result);
+            ctx.send(consumer, 0, out.freeze());
+        }
+    });
+
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+
+    let expected: u64 = inputs.iter().map(|&x| alternate_isqrt(x)).sum();
+    let got = *total.lock().unwrap();
+    let fell_back = *fallbacks.lock().unwrap();
+    println!("inputs:            {inputs:?}");
+    println!("consumer total:    {got} (reference {expected})");
+    println!("fallbacks taken:   {fell_back}");
+    println!("rollbacks:         {}", report.hope.rollbacks);
+    assert_eq!(got, expected, "recovery blocks must yield correct results");
+    assert!(
+        fell_back >= 1,
+        "the buggy primary should fail at least one acceptance test"
+    );
+    println!("\nThe acceptance tests ran off the critical path; only the");
+    println!("inputs the primary got wrong paid the alternate's cost, and");
+    println!("downstream consumers were repaired automatically.");
+}

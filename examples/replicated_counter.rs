@@ -1,0 +1,172 @@
+//! Optimistic replication (the paper's §6 pointer to "Optimistic
+//! Replication in HOPE" \[5\]).
+//!
+//! Two replicas apply client increments to a replicated counter
+//! *optimistically*, assuming their cached version is still current, and
+//! report results downstream immediately. The owner validates each update
+//! against the authoritative version: a stale update is denied, rolling
+//! the replica — and the auditor who already consumed its speculative
+//! report — back automatically; the replica then refetches and reapplies.
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example replicated_counter
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use bytes::{BufMut, Bytes, BytesMut};
+use hope::prelude::*;
+
+const CH_CHECK: u32 = 10; // replica -> owner: optimistic update
+const CH_GET: u32 = 11; // replica -> owner: refetch request
+const CH_SNAP: u32 = 12; // owner -> replica: authoritative snapshot
+const CH_REPORT: u32 = 13; // replica -> auditor: (replica id, value)
+
+fn encode_check(aid: AidId, version: u64, delta: u64) -> Bytes {
+    let mut b = BytesMut::with_capacity(24);
+    b.put_u64_le(aid.process().as_raw());
+    b.put_u64_le(version);
+    b.put_u64_le(delta);
+    b.freeze()
+}
+
+fn decode_u64s(data: &[u8]) -> Vec<u64> {
+    data.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+fn main() {
+    let mut env = HopeEnv::builder().seed(11).build();
+    let trace: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    let total_updates = 2u32;
+
+    // The owner holds the authoritative (version, value) pair and
+    // validates optimistic updates by version comparison.
+    let owner_final = Arc::new(Mutex::new((0u64, 0u64)));
+    let of = owner_final.clone();
+    let ot = trace.clone();
+    let owner = env.spawn_user("owner", move |ctx| {
+        let mut version = 0u64;
+        let mut value = 0u64;
+        let mut applied = 0u32;
+        while applied < total_updates {
+            let msg = ctx.receive(None);
+            match msg.channel {
+                CH_CHECK => {
+                    let fields = decode_u64s(&msg.data);
+                    let aid = AidId::from_raw(ProcessId::from_raw(fields[0]));
+                    let (their_version, delta) = (fields[1], fields[2]);
+                    if their_version == version {
+                        value += delta;
+                        version += 1;
+                        applied += 1;
+                        ot.lock().unwrap().push(format!(
+                            "owner: v{their_version} update (+{delta}) accepted -> value {value}"
+                        ));
+                        ctx.affirm(aid);
+                    } else {
+                        ot.lock().unwrap().push(format!(
+                            "owner: v{their_version} update rejected (authoritative v{version})"
+                        ));
+                        ctx.deny(aid);
+                    }
+                }
+                CH_GET => {
+                    let mut b = BytesMut::with_capacity(16);
+                    b.put_u64_le(version);
+                    b.put_u64_le(value);
+                    ctx.send(msg.src, CH_SNAP, b.freeze());
+                }
+                _ => {}
+            }
+        }
+        if !ctx.is_replaying() {
+            *of.lock().unwrap() = (version, value);
+        }
+    });
+
+    // The auditor consumes replica reports — speculative ones included.
+    // If a report's speculation dies, the auditor rolls back with it.
+    let audit = Arc::new(Mutex::new(std::collections::BTreeMap::new()));
+    let au = audit.clone();
+    let auditor = env.spawn_user("auditor", move |ctx| {
+        for _ in 0..total_updates {
+            let msg = ctx.receive(Some(CH_REPORT));
+            let fields = decode_u64s(&msg.data);
+            if !ctx.is_replaying() {
+                au.lock().unwrap().insert(fields[0], fields[1]);
+            }
+        }
+    });
+
+    // Two replicas, each applying one increment from the same initial
+    // snapshot — guaranteeing a version conflict.
+    for (replica_id, delta) in [(1u64, 10u64), (2u64, 32u64)] {
+        let rt = trace.clone();
+        env.spawn_user(&format!("replica-{replica_id}"), move |ctx| {
+            // Initial snapshot.
+            ctx.send(owner, CH_GET, Bytes::new());
+            let snap = ctx.receive(Some(CH_SNAP));
+            let fields = decode_u64s(&snap.data);
+            let (mut version, mut base) = (fields[0], fields[1]);
+            loop {
+                let fresh = ctx.aid_init();
+                ctx.send(owner, CH_CHECK, encode_check(fresh, version, delta));
+                if ctx.guess(fresh) {
+                    // Optimistic: report immediately, speculatively.
+                    let optimistic = base + delta;
+                    if !ctx.is_replaying() {
+                        rt.lock().unwrap().push(format!(
+                            "replica-{replica_id}: optimistic value {optimistic} (v{version})"
+                        ));
+                    }
+                    let mut b = BytesMut::with_capacity(16);
+                    b.put_u64_le(replica_id);
+                    b.put_u64_le(optimistic);
+                    ctx.send(auditor, CH_REPORT, b.freeze());
+                    return;
+                }
+                // Denied: our snapshot was stale. Refetch and retry.
+                if !ctx.is_replaying() {
+                    rt.lock().unwrap().push(format!(
+                        "replica-{replica_id}: conflict at v{version}; refetching"
+                    ));
+                }
+                ctx.send(owner, CH_GET, Bytes::new());
+                let snap = ctx.receive(Some(CH_SNAP));
+                let fields = decode_u64s(&snap.data);
+                version = fields[0];
+                base = fields[1];
+            }
+        });
+    }
+
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+
+    println!("--- trace ---");
+    for line in trace.lock().unwrap().iter() {
+        println!("{line}");
+    }
+    let (version, value) = *owner_final.lock().unwrap();
+    println!("\nowner final: version {version}, value {value}");
+    assert_eq!(value, 42, "both increments must apply exactly once");
+    assert_eq!(version, 2);
+
+    let audit = audit.lock().unwrap();
+    println!("auditor saw: {audit:?}");
+    // The conflicting replica's speculative report was rolled back and
+    // replaced by the corrected value; both audited values are consistent
+    // with a serial application order.
+    let mut audited: Vec<u64> = audit.values().copied().collect();
+    audited.sort();
+    assert!(
+        audited == vec![10, 42] || audited == vec![32, 42],
+        "audited values must reflect a serial order: {audited:?}"
+    );
+    println!("\nrollbacks: {} (the losing replica and its auditor)", report.hope.rollbacks);
+    assert!(report.hope.rollbacks >= 1);
+}

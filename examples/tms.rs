@@ -1,0 +1,93 @@
+//! A miniature truth-maintenance system (the paper's §6 pointer to
+//! Doyle's TMS \[12\]) built on HOPE assumptions.
+//!
+//! The classic non-monotonic example: assume *Tweety flies* and derive
+//! consequences; when the fact *Tweety is a penguin* arrives, the
+//! assumption is denied and every derived belief — including ones already
+//! shipped to another process — is withdrawn automatically by HOPE's
+//! dependency tracking, then re-derived under the corrected assumption.
+//! Run with:
+//!
+//! ```sh
+//! cargo run --example tms
+//! ```
+
+use std::sync::{Arc, Mutex};
+
+use bytes::Bytes;
+use hope::prelude::*;
+
+fn main() {
+    let mut env = HopeEnv::builder().seed(3).build();
+    let beliefs: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The planner consumes derived beliefs (speculative or not) and keeps
+    // the last consistent plan it saw.
+    let plan = Arc::new(Mutex::new(String::new()));
+    let p = plan.clone();
+    let planner = env.spawn_user("planner", move |ctx| {
+        // One plan per derivation round; the speculative one is rolled
+        // back (this receive rolls back with it) when the assumption dies.
+        let msg = ctx.receive(None);
+        if !ctx.is_replaying() {
+            *p.lock().unwrap() = String::from_utf8_lossy(&msg.data).to_string();
+        }
+    });
+
+    // The reasoner: assumes "tweety flies", derives and ships beliefs.
+    let b = beliefs.clone();
+    let reasoner = env.spawn_user("reasoner", move |ctx| {
+        // Receive the assumption identifier from the knowledge base.
+        let msg = ctx.receive(None);
+        let flies = AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(
+            msg.data[..8].try_into().unwrap(),
+        )));
+        if ctx.guess(flies) {
+            if !ctx.is_replaying() {
+                b.lock().unwrap().push("believe: tweety flies".into());
+                b.lock().unwrap().push("derive: build a high perch".into());
+            }
+            ctx.send(planner, 0, Bytes::from_static(b"plan: install perch on the ceiling"));
+        } else {
+            if !ctx.is_replaying() {
+                b.lock().unwrap().push("withdraw: tweety flies".into());
+                b.lock().unwrap().push("derive: build a ground nest".into());
+            }
+            ctx.send(planner, 0, Bytes::from_static(b"plan: build ground nest"));
+        }
+    });
+
+    // The knowledge base: publishes the assumption, then later learns the
+    // contradicting fact and denies it.
+    env.spawn_user("knowledge-base", move |ctx| {
+        let flies = ctx.aid_init();
+        ctx.send(
+            reasoner,
+            0,
+            Bytes::from(flies.process().as_raw().to_le_bytes().to_vec()),
+        );
+        // …time passes; a new observation arrives…
+        ctx.compute(VirtualDuration::from_millis(20));
+        // fact: penguin(tweety) ⇒ ¬flies(tweety)
+        ctx.deny(flies);
+    });
+
+    let report = env.run();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+
+    println!("--- belief revision trace ---");
+    for line in beliefs.lock().unwrap().iter() {
+        println!("{line}");
+    }
+    let final_plan = plan.lock().unwrap().clone();
+    println!("\nfinal plan: {final_plan}");
+    assert_eq!(final_plan, "plan: build ground nest");
+    let trace = beliefs.lock().unwrap().clone();
+    assert!(trace.contains(&"believe: tweety flies".to_string()));
+    assert!(trace.contains(&"derive: build a ground nest".to_string()));
+    println!(
+        "\n{} rollback(s) retracted the speculative beliefs — the TMS's",
+        report.hope.rollbacks
+    );
+    println!("justification bookkeeping came entirely from HOPE.");
+}

@@ -1,0 +1,68 @@
+//! # HOPE — a wait-free optimistic programming environment
+//!
+//! Facade crate re-exporting the whole HOPE workspace: a Rust reproduction
+//! of Cowan & Lutfiyya, *A Wait-free Algorithm for Optimistic Programming:
+//! HOPE Realized* (ICDCS 1996).
+//!
+//! HOPE lets a distributed program make an **optimistic assumption**
+//! ([`guess`](hope_core)) and run ahead on it while the assumption is
+//! verified in parallel; the environment automatically tracks every
+//! computation — local or remote — that transitively depends on the
+//! assumption, and rolls all of them back if the assumption is
+//! [`deny`](hope_core)-ed. No user process ever blocks inside a HOPE
+//! primitive: the algorithm is *wait-free*.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hope::prelude::*;
+//!
+//! let mut env = HopeEnv::builder().build();
+//! let outcomes = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+//! let log = outcomes.clone();
+//! env.spawn_user("guesser", move |ctx: &mut ProcessCtx| {
+//!     let x = ctx.aid_init();
+//!     if ctx.guess(x) {
+//!         // optimistic path — runs immediately
+//!         log.lock().unwrap().push("optimistic");
+//!         ctx.affirm(x);
+//!     } else {
+//!         // pessimistic path — runs only after a rollback
+//!         log.lock().unwrap().push("pessimistic");
+//!     }
+//! });
+//! let report = env.run();
+//! assert!(report.is_clean());
+//! assert_eq!(outcomes.lock().unwrap().as_slice(), &["optimistic"]);
+//! ```
+//!
+//! ## Crates
+//!
+//! * [`hope_types`] — ids, dependency sets, protocol messages, virtual time
+//! * [`hope_runtime`] — the message-passing substrate (PVM substitute):
+//!   a deterministic virtual-time simulator ([`hope_runtime::SimRuntime`])
+//!   and a wall-clock threaded runtime ([`hope_runtime::ThreadedRuntime`])
+//! * [`hope_core`] — the HOPE algorithm: AID state machines, interval
+//!   Control (Algorithms 1 and 2), checkpoint/rollback via replay, and the
+//!   `guess`/`affirm`/`deny`/`free_of` primitives
+//! * [`hope_rpc`] — synchronous RPC and optimistic *call streaming*
+//! * [`hope_sim`] — workload generators and the experiment harness
+
+#![forbid(unsafe_code)]
+
+pub use hope_core;
+pub use hope_rpc;
+pub use hope_runtime;
+pub use hope_sim;
+pub use hope_types;
+
+/// Convenient glob-import surface: `use hope::prelude::*;`.
+pub mod prelude {
+    pub use hope_core::{
+        DenyPolicy, GuessRollbackPolicy, HopeConfig, HopeEnv, HopeReport, ProcessCtx,
+        RetractPolicy, ThreadedHopeEnv,
+    };
+    pub use hope_rpc::{RpcClient, RpcServer, StreamingClient};
+    pub use hope_runtime::{LatencyModel, NetworkConfig};
+    pub use hope_types::{AidId, HopeError, IntervalId, ProcessId, VirtualDuration, VirtualTime};
+}

@@ -1,0 +1,91 @@
+//! Smoke tests asserting each experiment's headline *shape* (the claims
+//! EXPERIMENTS.md records), at reduced scale so the suite stays fast.
+
+use hope::hope_sim as sim;
+use hope_types::VirtualDuration;
+
+#[test]
+fn f1_f2_streaming_speedup_and_crossover() {
+    let base = sim::printer::PrinterConfig {
+        latency: VirtualDuration::from_millis(10),
+        ..sim::printer::PrinterConfig::default()
+    };
+    let seq_miss = sim::printer::run_sequential(base);
+    let stream_miss = sim::printer::run_streaming(base);
+    let speedup =
+        seq_miss.worker_time.as_millis_f64() / stream_miss.worker_time.as_millis_f64();
+    assert!(speedup > 1.8, "≈2x when the assumption holds: got {speedup:.2}x");
+
+    let hit = sim::printer::PrinterConfig {
+        hit_boundary: true,
+        ..base
+    };
+    let seq_hit = sim::printer::run_sequential(hit);
+    let stream_hit = sim::printer::run_streaming(hit);
+    assert!(
+        stream_hit.worker_time > seq_hit.worker_time,
+        "optimism must lose when the assumption always fails"
+    );
+}
+
+#[test]
+fn e3_improvement_reaches_the_paper_range() {
+    let cfg = sim::chain::ChainConfig {
+        depth: 8,
+        ..sim::chain::ChainConfig::default()
+    };
+    let seq = sim::chain::run_sequential(cfg);
+    let stream = sim::chain::run_streaming(cfg);
+    let improvement = 1.0 - stream.quiescent.as_secs_f64() / seq.quiescent.as_secs_f64();
+    assert!(
+        improvement > 0.70,
+        "the paper reports up to 70% improvement; got {:.1}%",
+        improvement * 100.0
+    );
+}
+
+#[test]
+fn e4_primitives_flat_rpc_linear() {
+    let lo = sim::waitfree::measure(VirtualDuration::from_millis(1), 1);
+    let hi = sim::waitfree::measure(VirtualDuration::from_millis(100), 1);
+    assert_eq!(lo.primitive_cost, VirtualDuration::ZERO);
+    assert_eq!(hi.primitive_cost, VirtualDuration::ZERO);
+    assert_eq!(hi.rpc_cost.as_nanos(), lo.rpc_cost.as_nanos() * 100);
+}
+
+#[test]
+fn e5_quadratic_message_growth() {
+    let n8 = sim::quadratic::measure(8, 1);
+    let n16 = sim::quadratic::measure(16, 1);
+    // Guess registrations follow N(N+1)/2 exactly.
+    assert_eq!(n8.guess_messages, 36);
+    assert_eq!(n16.guess_messages, 136);
+    // Per-assumption cost grows linearly with N (overall quadratic).
+    let per8 = n8.total_hope as f64 / 8.0;
+    let per16 = n16.total_hope as f64 / 16.0;
+    assert!(per16 > per8 * 1.5);
+}
+
+#[test]
+fn f13_f14_algorithms_disagree_on_cycles() {
+    let alg2 = sim::rings::run_ring(4, true, 5_000_000, 1);
+    assert!(alg2.converged);
+    assert_eq!(alg2.cycles_broken, 4);
+    let alg1 = sim::rings::run_ring(4, false, 50_000, 1);
+    assert!(!alg1.converged);
+}
+
+#[test]
+fn e6_replay_cost_linear_in_depth() {
+    let d4 = sim::rollback::measure(4, 4, 1);
+    let d16 = sim::rollback::measure(16, 4, 1);
+    assert!(d16.replayed_ops > d4.replayed_ops);
+    assert_eq!(d4.reexecutions, 1, "one deny, one re-execution");
+}
+
+#[test]
+fn t1_all_protocol_messages_observed() {
+    let stats = sim::protocol::run_canonical(1);
+    let table = sim::protocol::table_1(&stats);
+    assert_eq!(table.rows.len(), 5);
+}

@@ -1,0 +1,195 @@
+//! Cross-crate property tests: the example scenarios (replication,
+//! pipeline) must hold their invariants under randomized parameters and
+//! seeds — optimism may change *when* things happen, never *what* the
+//! committed outcome is.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use hope::prelude::*;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+const CH_CHECK: u32 = 10;
+const CH_GET: u32 = 11;
+const CH_SNAP: u32 = 12;
+
+fn decode_u64s(data: &[u8]) -> Vec<u64> {
+    data.chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+        .collect()
+}
+
+/// Optimistic replicated counter with `deltas.len()` replicas racing one
+/// increment each; returns the owner's committed (version, value).
+fn run_replication(deltas: &[u64], seed: u64) -> (u64, u64) {
+    let mut env = HopeEnv::builder().seed(seed).build();
+    let total = deltas.len() as u32;
+    let owner_final = Arc::new(Mutex::new((0u64, 0u64)));
+    let of = owner_final.clone();
+    let owner = env.spawn_user("owner", move |ctx| {
+        let mut version = 0u64;
+        let mut value = 0u64;
+        let mut applied = 0u32;
+        while applied < total {
+            let msg = ctx.receive(None);
+            match msg.channel {
+                CH_CHECK => {
+                    let f = decode_u64s(&msg.data);
+                    let aid = AidId::from_raw(ProcessId::from_raw(f[0]));
+                    if f[1] == version {
+                        value += f[2];
+                        version += 1;
+                        applied += 1;
+                        ctx.affirm(aid);
+                    } else {
+                        ctx.deny(aid);
+                    }
+                }
+                CH_GET => {
+                    let mut b = BytesMut::with_capacity(16);
+                    b.put_u64_le(version);
+                    b.put_u64_le(value);
+                    ctx.send(msg.src, CH_SNAP, b.freeze());
+                }
+                _ => {}
+            }
+        }
+        if !ctx.is_replaying() {
+            *of.lock().unwrap() = (version, value);
+        }
+    });
+    for (i, &delta) in deltas.iter().enumerate() {
+        env.spawn_user(&format!("replica-{i}"), move |ctx| {
+            ctx.send(owner, CH_GET, Bytes::new());
+            let snap = ctx.receive(Some(CH_SNAP));
+            let mut version = decode_u64s(&snap.data)[0];
+            loop {
+                let fresh = ctx.aid_init();
+                let mut b = BytesMut::with_capacity(24);
+                b.put_u64_le(fresh.process().as_raw());
+                b.put_u64_le(version);
+                b.put_u64_le(delta);
+                ctx.send(owner, CH_CHECK, b.freeze());
+                if ctx.guess(fresh) {
+                    return;
+                }
+                ctx.send(owner, CH_GET, Bytes::new());
+                let snap = ctx.receive(Some(CH_SNAP));
+                version = decode_u64s(&snap.data)[0];
+            }
+        });
+    }
+    let report = env.run();
+    assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+    assert!(!report.run.hit_event_limit);
+    let out = *owner_final.lock().unwrap();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn replication_applies_every_update_exactly_once(
+        deltas in proptest::collection::vec(1u64..1000, 1..5),
+        seed in any::<u64>(),
+    ) {
+        let (version, value) = run_replication(&deltas, seed);
+        prop_assert_eq!(version, deltas.len() as u64);
+        prop_assert_eq!(value, deltas.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn replication_is_deterministic_per_seed(
+        deltas in proptest::collection::vec(1u64..1000, 1..4),
+        seed in any::<u64>(),
+    ) {
+        prop_assert_eq!(run_replication(&deltas, seed), run_replication(&deltas, seed));
+    }
+}
+
+/// The pipeline scenario: only records passing validation reach the
+/// collector, regardless of how speculation interleaves.
+fn run_pipeline(records: &[u64], seed: u64) -> Vec<u64> {
+    const CH_RECORD: u32 = 1;
+    const CH_VALIDATE: u32 = 2;
+    const CH_OUT: u32 = 3;
+    let mut env = HopeEnv::builder().seed(seed).build();
+    let n = records.len();
+    let valid: Vec<u64> = records.iter().copied().filter(|v| v % 3 != 0).collect();
+    let expect = valid.len();
+    let collected = Arc::new(Mutex::new(Vec::new()));
+    let col = collected.clone();
+    let collector = env.spawn_user("collector", move |ctx| {
+        let mut seen = Vec::new();
+        for _ in 0..expect {
+            let msg = ctx.receive(Some(CH_OUT));
+            seen.push(u64::from_le_bytes(msg.data[..8].try_into().unwrap()));
+        }
+        if !ctx.is_replaying() {
+            *col.lock().unwrap() = seen.clone();
+        }
+    });
+    let validator = env.spawn_user("validator", move |ctx| {
+        for _ in 0..n {
+            let msg = ctx.receive(Some(CH_VALIDATE));
+            let f = decode_u64s(&msg.data);
+            ctx.compute(VirtualDuration::from_millis(2));
+            let aid = AidId::from_raw(ProcessId::from_raw(f[1]));
+            if f[0].is_multiple_of(3) {
+                ctx.deny(aid);
+            } else {
+                ctx.affirm(aid);
+            }
+        }
+    });
+    let transformer = env.spawn_user("transformer", move |ctx| {
+        for _ in 0..n {
+            let msg = ctx.receive(Some(CH_RECORD));
+            let value = u64::from_le_bytes(msg.data[..8].try_into().unwrap());
+            let ok = ctx.aid_init();
+            let mut b = BytesMut::with_capacity(16);
+            b.put_u64_le(value);
+            b.put_u64_le(ok.process().as_raw());
+            ctx.send(validator, CH_VALIDATE, b.freeze());
+            if ctx.guess(ok) {
+                let mut out = BytesMut::with_capacity(8);
+                out.put_u64_le(value * 2);
+                ctx.send(collector, CH_OUT, out.freeze());
+            }
+        }
+    });
+    let recs = records.to_vec();
+    env.spawn_user("producer", move |ctx| {
+        for &value in &recs {
+            let mut b = BytesMut::with_capacity(8);
+            b.put_u64_le(value);
+            ctx.send(transformer, CH_RECORD, b.freeze());
+            ctx.compute(VirtualDuration::from_micros(100));
+        }
+    });
+    let report = env.run();
+    assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+    assert!(!report.run.hit_event_limit);
+    let mut got = collected.lock().unwrap().clone();
+    got.sort();
+    got
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn pipeline_commits_exactly_the_valid_records(
+        records in proptest::collection::vec(1u64..100, 1..8),
+        seed in any::<u64>(),
+    ) {
+        let got = run_pipeline(&records, seed);
+        let mut want: Vec<u64> = records
+            .iter()
+            .filter(|v| *v % 3 != 0)
+            .map(|v| v * 2)
+            .collect();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+}
