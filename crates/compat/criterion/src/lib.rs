@@ -1,0 +1,249 @@
+//! Minimal stand-in for `criterion`: groups, `iter`/`iter_batched`
+//! benchmarking, and plain-text wall-clock reporting. No statistics
+//! beyond mean-of-samples, no HTML reports, no outlier analysis — just
+//! enough to keep the `[[bench]]` targets building and producing usable
+//! ns/iter numbers offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export-compatible opaque-value barrier.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How `iter_batched` amortizes setup cost. Only the variant names
+/// matter for compatibility; this harness always runs one setup per
+/// routine invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus a parameter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Wall-clock budget for the measurement phase.
+    measure_for: Duration,
+    /// Mean nanoseconds per iteration, filled in by `iter*`.
+    mean_ns: f64,
+    /// Iterations actually executed.
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly and records the mean latency.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: a few iterations to fault in caches and branch state.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut iters = 0u64;
+        let start = Instant::now();
+        let mut elapsed;
+        loop {
+            black_box(routine());
+            iters += 1;
+            elapsed = start.elapsed();
+            if elapsed >= self.measure_for {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut iters = 0u64;
+        let mut busy = Duration::ZERO;
+        let started = Instant::now();
+        loop {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            busy += t0.elapsed();
+            iters += 1;
+            if started.elapsed() >= self.measure_for {
+                break;
+            }
+        }
+        self.iters = iters;
+        self.mean_ns = busy.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher {
+            measure_for: self.criterion.measure_for,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        println!(
+            "{}/{:<28} time: {:>12}   ({} iterations)",
+            self.name,
+            id,
+            human_ns(b.mean_ns),
+            b.iters
+        );
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes runs by a
+    /// wall-clock budget, not a sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group (reporting is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short budget: these run in CI smoke jobs, not for publication.
+        Criterion { measure_for: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Sets the wall-clock measurement budget per benchmark.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measure_for = dur;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id.to_string(), &mut f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a group-runner function invoking each benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_measures_and_counts() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("smoke");
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_with_input(BenchmarkId::new("mul", 3), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| v * 2, BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,443 @@
+//! Minimal stand-in for `proptest`: the `proptest!` macro, a [`Strategy`]
+//! trait with `prop_map`/`prop_flat_map`, integer-range and collection
+//! strategies, and a deterministic case runner.
+//!
+//! Differences from upstream, on purpose:
+//!
+//! * **No shrinking.** A failing case reports its case index and seed so
+//!   it can be replayed, but is not minimized.
+//! * **Deterministic by construction.** Case seeds derive from the test
+//!   name and case index only, so every run explores the same inputs —
+//!   which doubles as regression coverage once a run has passed.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic RNG handed to strategies while generating a case.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Next raw 64-bit draw (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates an intermediate value, builds a second strategy from it,
+    /// and draws the final value from that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        let mid = self.inner.generate(rng);
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn ErasedStrategy<T>>,
+}
+
+trait ErasedStrategy<T> {
+    fn erased_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> ErasedStrategy<S::Value> for S {
+    fn erased_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.erased_generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    rng.next_u64() as $t
+                } else {
+                    lo + rng.below(span) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+/// Strategy returned by [`any`].
+pub struct Any<T> {
+    _marker: PhantomData<T>,
+}
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl<T> Strategy for Any<T>
+where
+    T: Arbitrary,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The full-domain strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any { _marker: PhantomData }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident/$idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A/0, B/1);
+    (A/0, B/1, C/2);
+    (A/0, B/1, C/2, D/3);
+    (A/0, B/1, C/2, D/3, E/4);
+    (A/0, B/1, C/2, D/3, E/4, F/5);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive bound on collection sizes.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Builds a [`VecStrategy`] with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-proptest-block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The case loop behind the `proptest!` macro.
+
+    use super::{ProptestConfig, TestRng};
+    use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Runs `body` once per case with a deterministic per-case RNG.
+    /// On failure, reports the case index and seed before re-panicking.
+    pub fn run_cases(config: ProptestConfig, test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+        let base = fnv1a(test_name);
+        for case in 0..config.cases {
+            let seed = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut rng = TestRng::new(seed);
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| (body)(&mut rng))) {
+                eprintln!(
+                    "proptest: test '{test_name}' failed at case {case}/{} (seed {seed:#x})",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// Asserts a condition inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases(__cfg, stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    $body
+                });
+            }
+        )*
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(arg in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+pub mod prelude {
+    //! Common imports, mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn determinism_same_name_same_cases() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        for out in [&mut first, &mut second] {
+            crate::test_runner::run_cases(ProptestConfig::with_cases(10), "determinism", |rng| {
+                out.push((0u64..100).generate(rng));
+            });
+        }
+        assert_eq!(first, second);
+        assert_eq!(first.len(), 10);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(20))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..=9, y in 1u64..1000, flag in any::<bool>()) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((1..1000).contains(&y));
+            let _ = flag;
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in crate::collection::vec(any::<u16>(), 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+
+        #[test]
+        fn flat_map_threads_intermediate(pair in (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(0..n, n).prop_map(move |v| (n, v))
+        })) {
+            let (n, v) = pair;
+            prop_assert_eq!(v.len(), n);
+            prop_assert!(v.iter().all(|&x| x < n));
+        }
+    }
+}

@@ -77,7 +77,12 @@ fn printer_run(
 fn main() {
     let mut t = Table::new(
         "Ablation A: RetractPolicy on a retracted speculative affirm",
-        &["policy", "rollbacks", "contract violations", "converged clean"],
+        &[
+            "policy",
+            "rollbacks",
+            "contract violations",
+            "converged clean",
+        ],
     );
     for (name, policy) in [
         ("Keep (default)", RetractPolicy::Keep),

@@ -56,14 +56,22 @@ fn main() {
 
     // E5
     hope_bench::emit(&hope_sim::quadratic::sweep(
-        if fast { &[2, 8, 32] } else { &[1, 2, 4, 8, 16, 32, 64] },
+        if fast {
+            &[2, 8, 32]
+        } else {
+            &[1, 2, 4, 8, 16, 32, 64]
+        },
         42,
     ));
     println!();
 
     // F13/F14
     hope_bench::emit(&hope_sim::rings::sweep(
-        if fast { &[2, 4] } else { &[2, 3, 4, 6, 8, 12, 16] },
+        if fast {
+            &[2, 4]
+        } else {
+            &[2, 3, 4, 6, 8, 12, 16]
+        },
         42,
     ));
     println!();
@@ -86,7 +94,12 @@ fn main() {
         if fast {
             &[(2_000, 5_000)]
         } else {
-            &[(2_000, 100), (2_000, 1_000), (2_000, 5_000), (2_000, 15_000)]
+            &[
+                (2_000, 100),
+                (2_000, 1_000),
+                (2_000, 5_000),
+                (2_000, 15_000),
+            ]
         },
     ));
     println!();
@@ -101,11 +114,26 @@ fn main() {
 
     // E9
     hope_bench::emit(&hope_sim::soak::sweep(
-        if fast { &[1.0, 0.5] } else { &[1.0, 0.95, 0.9, 0.7, 0.5, 0.0] },
+        if fast {
+            &[1.0, 0.5]
+        } else {
+            &[1.0, 0.95, 0.9, 0.7, 0.5, 0.0]
+        },
         hope_sim::soak::SoakConfig {
             clients: if fast { 3 } else { 8 },
             calls_per_client: if fast { 4 } else { 10 },
             ..hope_sim::soak::SoakConfig::default()
         },
+    ));
+    println!();
+
+    // E-chaos
+    hope_bench::emit(&hope_sim::chaos::sweep(
+        if fast {
+            &[0.15]
+        } else {
+            &[0.0, 0.05, 0.15, 0.25]
+        },
+        hope_sim::chaos::ChaosConfig::default(),
     ));
 }

@@ -1,0 +1,16 @@
+//! E-chaos: fault-injection soak — replication and chain scenarios under
+//! seeded drops, duplicates and a scheduled crash/restart, with the
+//! reliable-delivery sublayer repairing the wire. Every row must commit
+//! the fault-free outcome.
+
+use hope_sim::chaos::{run_threaded, sweep, ChaosConfig};
+
+fn main() {
+    let table = sweep(&[0.0, 0.05, 0.15, 0.25], ChaosConfig::default());
+    hope_bench::emit(&table);
+    let t = run_threaded(ChaosConfig::default());
+    println!(
+        "threaded: correct={} finalized={} rollbacks={} recoveries={} ({})",
+        t.matches_fault_free, t.finalized, t.rollbacks, t.crash_recoveries, t.link
+    );
+}

@@ -8,8 +8,8 @@ fn main() {
     let latencies = [
         VirtualDuration::from_micros(100), // LAN
         VirtualDuration::from_millis(1),
-        VirtualDuration::from_millis(10),  // WAN
-        VirtualDuration::from_millis(15),  // the paper's 30 ms round trip
+        VirtualDuration::from_millis(10), // WAN
+        VirtualDuration::from_millis(15), // the paper's 30 ms round trip
     ];
     let hit_probs = [0.0, 0.01, 0.1, 0.5, 1.0];
     let table = hope_sim::printer::sweep(&latencies, &hit_probs, 10, 42);

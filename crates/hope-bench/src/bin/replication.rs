@@ -4,10 +4,7 @@
 use hope_types::VirtualDuration;
 
 fn main() {
-    let table = hope_sim::replication::sweep(
-        &[1, 2, 4, 8, 16],
-        VirtualDuration::from_millis(2),
-        42,
-    );
+    let table =
+        hope_sim::replication::sweep(&[1, 2, 4, 8, 16], VirtualDuration::from_millis(2), 42);
     hope_bench::emit(&table);
 }

@@ -2,10 +2,6 @@
 //! chains — the experiment behind the paper's "up to 70 %" claim.
 
 fn main() {
-    let table = hope_sim::chain::sweep(
-        &[1, 2, 3, 4, 6, 8],
-        &[1.0, 0.9, 0.5, 0.0],
-        42,
-    );
+    let table = hope_sim::chain::sweep(&[1, 2, 3, 4, 6, 8], &[1.0, 0.9, 0.5, 0.0], 42);
     hope_bench::emit(&table);
 }

@@ -11,7 +11,7 @@ fn main() {
             ..SolverConfig::default()
         },
         &[
-            (2_000, 100),    // LAN: latency negligible
+            (2_000, 100), // LAN: latency negligible
             (2_000, 1_000),
             (2_000, 5_000),
             (2_000, 15_000), // transcontinental

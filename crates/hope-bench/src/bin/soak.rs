@@ -4,9 +4,6 @@
 use hope_sim::soak::{sweep, SoakConfig};
 
 fn main() {
-    let table = sweep(
-        &[1.0, 0.95, 0.9, 0.7, 0.5, 0.0],
-        SoakConfig::default(),
-    );
+    let table = sweep(&[1.0, 0.95, 0.9, 0.7, 0.5, 0.0], SoakConfig::default());
     hope_bench::emit(&table);
 }

@@ -31,7 +31,13 @@ fn main() {
     assert!(report.is_clean());
     println!("process map: P0=verifier P1=guesser P2+=AID processes\n");
     println!("--- full delivery trace ---");
-    print!("{}", env.runtime().trace().expect("tracing enabled").render(false));
+    print!(
+        "{}",
+        env.runtime()
+            .trace()
+            .expect("tracing enabled")
+            .render(false)
+    );
     println!("\n--- HOPE protocol only ---");
     print!("{}", env.runtime().trace().unwrap().render(true));
     println!("\nmetrics: {}", report.hope);

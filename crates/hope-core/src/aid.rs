@@ -528,25 +528,34 @@ mod tests {
         let cold: Builder = AidMachine::new;
         let hot: Builder = || {
             let mut m = AidMachine::new();
-            m.on_message(me(), HopeMessage::Guess {
-                iid: IntervalId::new(ProcessId::from_raw(1), 0),
-            });
+            m.on_message(
+                me(),
+                HopeMessage::Guess {
+                    iid: IntervalId::new(ProcessId::from_raw(1), 0),
+                },
+            );
             m
         };
         let maybe: Builder = || {
             let mut m = AidMachine::new();
-            m.on_message(me(), HopeMessage::Affirm {
-                iid: None,
-                ido: IdoSet::singleton(AidId::from_raw(ProcessId::from_raw(7))),
-            });
+            m.on_message(
+                me(),
+                HopeMessage::Affirm {
+                    iid: None,
+                    ido: IdoSet::singleton(AidId::from_raw(ProcessId::from_raw(7))),
+                },
+            );
             m
         };
         let tru: Builder = || {
             let mut m = AidMachine::new();
-            m.on_message(me(), HopeMessage::Affirm {
-                iid: None,
-                ido: IdoSet::new(),
-            });
+            m.on_message(
+                me(),
+                HopeMessage::Affirm {
+                    iid: None,
+                    ido: IdoSet::new(),
+                },
+            );
             m
         };
         let fls: Builder = || {

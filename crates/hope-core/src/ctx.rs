@@ -182,8 +182,10 @@ impl<'a> ProcessCtx<'a> {
         }
         self.check_rollback();
         self.log.record(Op::AidRetain { aid });
-        self.sys
-            .send(aid.process(), hope_types::Payload::Hope(hope_types::HopeMessage::Retain));
+        self.sys.send(
+            aid.process(),
+            hope_types::Payload::Hope(hope_types::HopeMessage::Retain),
+        );
     }
 
     /// Drops a reference to `aid`. When the last reference is released
@@ -205,8 +207,10 @@ impl<'a> ProcessCtx<'a> {
         }
         self.check_rollback();
         self.log.record(Op::AidRelease { aid });
-        self.sys
-            .send(aid.process(), hope_types::Payload::Hope(hope_types::HopeMessage::Release));
+        self.sys.send(
+            aid.process(),
+            hope_types::Payload::Hope(hope_types::HopeMessage::Release),
+        );
     }
 
     /// Makes the optimistic assumption identified by `aid`.
@@ -420,9 +424,7 @@ impl<'a> ProcessCtx<'a> {
         if self.log.is_replaying() {
             self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
             let (src, msg) = match self.log.replay_next("Receive", |op| match op {
-                Op::Receive { src, msg }
-                    if channel.is_none_or(|c| c == msg.channel) =>
-                {
+                Op::Receive { src, msg } if channel.is_none_or(|c| c == msg.channel) => {
                     Some((*src, msg.clone()))
                 }
                 _ => None,

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use hope_runtime::{ControlHandler, NetworkConfig, RunReport, SimRuntime, SysApi};
+use hope_runtime::{ControlHandler, FaultPlan, NetworkConfig, RunReport, SimRuntime, SysApi};
 use hope_types::{ProcessId, VirtualTime};
 
 use crate::config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
@@ -267,6 +267,7 @@ pub struct HopeEnvBuilder {
     config: HopeConfig,
     max_events: u64,
     trace_capacity: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for HopeEnvBuilder {
@@ -277,6 +278,7 @@ impl Default for HopeEnvBuilder {
             config: HopeConfig::new(),
             max_events: 50_000_000,
             trace_capacity: 0,
+            faults: None,
         }
     }
 }
@@ -337,15 +339,26 @@ impl HopeEnvBuilder {
         self
     }
 
+    /// Injects runtime faults (drops, duplicates, crash/restarts) per
+    /// `plan`; enables the reliable-delivery sublayer and HOPElib crash
+    /// recovery via operation-log replay.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> HopeEnv {
+        let mut builder = SimRuntime::builder()
+            .seed(self.seed)
+            .network(self.network)
+            .max_events(self.max_events)
+            .trace(self.trace_capacity);
+        if let Some(plan) = self.faults {
+            builder = builder.faults(plan);
+        }
         HopeEnv {
-            rt: SimRuntime::builder()
-                .seed(self.seed)
-                .network(self.network)
-                .max_events(self.max_events)
-                .trace(self.trace_capacity)
-                .build(),
+            rt: builder.build(),
             config: self.config,
             metrics: Arc::new(HopeMetrics::new()),
             libs: Vec::new(),

@@ -165,10 +165,7 @@ impl LibState {
                 if rec.ido.insert(y) {
                     // Register with the newly acquired assumption so its
                     // Replace/Rollback traffic reaches this interval.
-                    api.send(
-                        y.process(),
-                        Payload::Hope(HopeMessage::Guess { iid }),
-                    );
+                    api.send(y.process(), Payload::Hope(HopeMessage::Guess { iid }));
                 }
             }
             rec.ido.remove(&sender);
@@ -180,6 +177,35 @@ impl LibState {
                 .fetch_add(cycles_broken, Ordering::Relaxed);
         }
         self.finalize_ready(api);
+    }
+
+    /// Crash recovery (fault injection): a restarting process loses its
+    /// volatile speculative state, so every non-definite interval is
+    /// doomed and execution resumes from the last definite interval by
+    /// replaying the operation log (the paper's rollback recovery doubles
+    /// as crash recovery — finalize is the commit point, §5). Returns true
+    /// if there was anything speculative to recover.
+    pub fn begin_crash_recovery(&mut self, api: &mut dyn ControlApi) -> bool {
+        let floor = self
+            .history
+            .intervals()
+            .iter()
+            .find(|rec| !rec.definite)
+            .map(|rec| rec.id.index());
+        let Some(floor) = floor else {
+            return false; // fully definite: the checkpoint is current
+        };
+        let incoming = PendingRollback { floor, cause: None };
+        self.pending_rollback = Some(match self.pending_rollback {
+            None => incoming,
+            Some(cur) if incoming.floor < cur.floor => incoming,
+            Some(cur) => cur,
+        });
+        self.metrics
+            .crash_recoveries
+            .fetch_add(1, Ordering::Relaxed);
+        api.wake();
+        true
     }
 
     /// Finalizes every interval whose IDO has emptied (Figure 11's
@@ -228,6 +254,10 @@ impl LibControl {
 impl ControlHandler for LibControl {
     fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
         self.lib.lock().handle_control(src, msg, api);
+    }
+
+    fn on_restart(&mut self, api: &mut dyn ControlApi) {
+        self.lib.lock().begin_crash_recovery(api);
     }
 }
 
@@ -285,7 +315,10 @@ mod tests {
         let mut api = FakeApi::default();
         lib.handle_control(
             aid(1).process(),
-            HopeMessage::Rollback { iid, cause: Some(AidId::from_raw(aid(1).process())) },
+            HopeMessage::Rollback {
+                iid,
+                cause: Some(AidId::from_raw(aid(1).process())),
+            },
             &mut api,
         );
         assert_eq!(
@@ -322,7 +355,10 @@ mod tests {
         let mut api = FakeApi::default();
         lib.handle_control(
             aid(1).process(),
-            HopeMessage::Rollback { iid: root, cause: None },
+            HopeMessage::Rollback {
+                iid: root,
+                cause: None,
+            },
             &mut api,
         );
         assert_eq!(lib.pending_rollback, None);
@@ -532,6 +568,38 @@ mod tests {
             &mut api,
         );
         assert!(!lib.history.get(iid).unwrap().definite);
+    }
+
+    #[test]
+    fn crash_recovery_dooms_all_speculative_intervals() {
+        let mut lib = bound_lib();
+        let a = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let _b = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        let mut api = FakeApi::default();
+        assert!(lib.begin_crash_recovery(&mut api));
+        assert_eq!(
+            lib.pending_rollback,
+            Some(PendingRollback {
+                floor: a.index(),
+                cause: None
+            }),
+            "recovery rolls back to the first speculative interval"
+        );
+        assert_eq!(api.wakes, 1);
+        assert_eq!(lib.metrics().crash_recoveries.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn crash_recovery_of_definite_history_is_a_noop() {
+        let mut lib = bound_lib();
+        let mut api = FakeApi::default();
+        assert!(!lib.begin_crash_recovery(&mut api), "root is definite");
+        assert_eq!(lib.pending_rollback, None);
+        assert_eq!(api.wakes, 0);
     }
 
     #[test]

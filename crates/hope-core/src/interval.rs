@@ -269,9 +269,7 @@ mod tests {
     #[test]
     fn truncate_unknown_id_is_none() {
         let mut h = History::new(pid(1));
-        assert!(h
-            .truncate_from(IntervalId::new(pid(1), 42))
-            .is_none());
+        assert!(h.truncate_from(IntervalId::new(pid(1), 42)).is_none());
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct HopeMetrics {
     pub cycles_broken: AtomicU64,
     /// AID processes garbage-collected by reference counting.
     pub aids_collected: AtomicU64,
+    /// Crash recoveries performed: restarts that discarded speculative
+    /// intervals and replayed the operation log to the definite frontier.
+    pub crash_recoveries: AtomicU64,
 }
 
 /// A plain-value copy of [`HopeMetrics`] at one instant.
@@ -67,6 +70,8 @@ pub struct MetricsSnapshot {
     pub cycles_broken: u64,
     /// See [`HopeMetrics::aids_collected`].
     pub aids_collected: u64,
+    /// See [`HopeMetrics::crash_recoveries`].
+    pub crash_recoveries: u64,
 }
 
 impl HopeMetrics {
@@ -91,6 +96,7 @@ impl HopeMetrics {
             aid_contract_violations: self.aid_contract_violations.load(Ordering::Relaxed),
             cycles_broken: self.cycles_broken.load(Ordering::Relaxed),
             aids_collected: self.aids_collected.load(Ordering::Relaxed),
+            crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
         }
     }
 }
@@ -109,11 +115,12 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "late_rollbacks={} violations={} cycles_broken={} aids_collected={}",
+            "late_rollbacks={} violations={} cycles_broken={} aids_collected={} crash_recoveries={}",
             self.late_rollbacks,
             self.aid_contract_violations,
             self.cycles_broken,
-            self.aids_collected
+            self.aids_collected,
+            self.crash_recoveries
         )
     }
 }

@@ -325,7 +325,10 @@ mod tests {
             aid: aid(5),
             outcome: true,
         });
-        log.record(Op::Send { dst: pid(2), channel: 0 });
+        log.record(Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
         log.rollback_to_guess(g);
         assert_eq!(log.len(), 2, "ops after the guess are discarded");
         assert!(log.is_replaying());
@@ -368,7 +371,10 @@ mod tests {
     #[test]
     fn divergence_on_wrong_op_kind() {
         let mut log = ReplayLog::new(pid(3));
-        log.record(Op::Send { dst: pid(2), channel: 1 });
+        log.record(Op::Send {
+            dst: pid(2),
+            channel: 1,
+        });
         log.rewind();
         let err = log
             .replay_next("Receive", |op| match op {
@@ -401,7 +407,10 @@ mod tests {
     #[should_panic(expected = "not a Guess")]
     fn rollback_to_guess_validates_target() {
         let mut log = ReplayLog::new(pid(1));
-        log.record(Op::Send { dst: pid(2), channel: 0 });
+        log.record(Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
         log.rollback_to_guess(0);
     }
 
@@ -419,7 +428,10 @@ mod tests {
                 aid: aid(1),
                 outcome: true,
             },
-            Op::Send { dst: pid(1), channel: 0 },
+            Op::Send {
+                dst: pid(1),
+                channel: 0,
+            },
             Op::Receive {
                 src: pid(1),
                 msg: UserMessage::new(0, bytes::Bytes::new()),

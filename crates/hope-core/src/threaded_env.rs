@@ -9,7 +9,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use hope_runtime::{NetworkConfig, RunReport, ThreadedRuntime};
+use hope_runtime::{FaultPlan, NetworkConfig, RunReport, ThreadedRuntime};
 use hope_types::ProcessId;
 
 use crate::config::HopeConfig;
@@ -23,6 +23,7 @@ pub struct ThreadedHopeEnvBuilder {
     seed: u64,
     network: NetworkConfig,
     config: HopeConfig,
+    faults: Option<FaultPlan>,
 }
 
 impl Default for ThreadedHopeEnvBuilder {
@@ -31,6 +32,7 @@ impl Default for ThreadedHopeEnvBuilder {
             seed: 0,
             network: NetworkConfig::local(),
             config: HopeConfig::new(),
+            faults: None,
         }
     }
 }
@@ -54,13 +56,23 @@ impl ThreadedHopeEnvBuilder {
         self
     }
 
+    /// Injects runtime faults per `plan` (crash times are wall-clock
+    /// offsets from startup) and enables the reliable-delivery sublayer.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds and starts the environment.
     pub fn build(self) -> ThreadedHopeEnv {
+        let mut builder = ThreadedRuntime::builder()
+            .seed(self.seed)
+            .network(self.network);
+        if let Some(plan) = self.faults {
+            builder = builder.faults(plan);
+        }
         ThreadedHopeEnv {
-            rt: ThreadedRuntime::builder()
-                .seed(self.seed)
-                .network(self.network)
-                .build(),
+            rt: builder.build(),
             config: self.config,
             metrics: Arc::new(HopeMetrics::new()),
         }

@@ -140,7 +140,10 @@ fn messages_to_collected_aids_are_dropped_not_misdelivered() {
     assert!(report.is_clean(), "{:?}", report.run.panics);
     assert!(observed.lock().unwrap().is_some());
     assert_eq!(report.hope.aids_collected, 1);
-    assert!(report.run.stats.dropped() >= 1, "the post-mortem deny is dropped");
+    assert!(
+        report.run.stats.dropped() >= 1,
+        "the post-mortem deny is dropped"
+    );
 }
 
 #[test]
@@ -188,7 +191,11 @@ fn interval_registrations_do_not_count_as_references() {
     env.spawn_user("owner", move |ctx| {
         let x = ctx.aid_init();
         for &g in &guessers {
-            ctx.send(g, 0, Bytes::from(x.process().as_raw().to_le_bytes().to_vec()));
+            ctx.send(
+                g,
+                0,
+                Bytes::from(x.process().as_raw().to_le_bytes().to_vec()),
+            );
         }
         ctx.compute(VirtualDuration::from_millis(5));
         ctx.affirm(x);

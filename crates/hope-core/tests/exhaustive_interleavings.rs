@@ -266,10 +266,7 @@ fn algorithm_2_wins_every_interleaving_of_the_2_ring() {
 fn algorithm_2_wins_every_interleaving_of_the_3_ring() {
     let (_, terminals, _) = explore(ring_initial(3), true, 2_000_000, |terminal| {
         assert!(terminal.intervals.iter().all(|i| i.definite));
-        assert!(terminal
-            .aids
-            .iter()
-            .all(|m| m.state() == AidState::True));
+        assert!(terminal.aids.iter().all(|m| m.state() == AidState::True));
     });
     assert!(terminals > 0);
 }
@@ -326,8 +323,14 @@ fn late_guess_races_the_affirm_cycle_lemma_5_2() {
         assert!(terminal.aids.iter().all(|m| m.state() == AidState::True));
     });
     assert!(terminals > 0);
-    assert!(!cycle, "progress must be guaranteed with the racing guess too");
-    assert!(explored > 50, "the race adds real interleavings: {explored}");
+    assert!(
+        !cycle,
+        "progress must be guaranteed with the racing guess too"
+    );
+    assert!(
+        explored > 50,
+        "the race adds real interleavings: {explored}"
+    );
 }
 
 #[test]
@@ -361,10 +364,9 @@ fn concurrent_deny_races_the_affirm_cycle_lemma_5_1() {
     // interval is either definite or rolled back, and the state graph
     // stays acyclic (progress).
     let mut initial = ring_initial(2);
-    initial.pending.push(InFlight::ToAid(
-        0,
-        HopeMessage::Deny { iid: Some(iid(9)) },
-    ));
+    initial
+        .pending
+        .push(InFlight::ToAid(0, HopeMessage::Deny { iid: Some(iid(9)) }));
     let initial = initial.canonical();
     let saw_false = std::cell::Cell::new(false);
     let saw_true = std::cell::Cell::new(false);

@@ -141,7 +141,11 @@ fn children_spawned_before_the_guess_are_not_duplicated() {
     });
     let report = env.run();
     assert!(report.is_clean(), "{:?}", report.run.panics);
-    assert_eq!(*child_runs.lock().unwrap(), 1, "exactly one child, messaged once");
+    assert_eq!(
+        *child_runs.lock().unwrap(),
+        1,
+        "exactly one child, messaged once"
+    );
 }
 
 #[test]

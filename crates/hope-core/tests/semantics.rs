@@ -397,10 +397,7 @@ fn interleaved_affirms_algorithm_1_does_not_converge() {
     // With cycle detection off (Algorithm 1), the same program "bounces"
     // Replace messages around the X↔Y ring forever (paper, §5.3). Cap the
     // event count: hitting the cap with nothing finalized IS the result.
-    let mut env = builder()
-        .cycle_detection(false)
-        .max_events(200_000)
-        .build();
+    let mut env = builder().cycle_detection(false).max_events(200_000).build();
     let a = env.spawn_user("A", move |ctx| {
         let m = ctx.receive(None);
         let y = decode_aid(&m.data[..8]);
@@ -502,7 +499,10 @@ fn free_of_denies_when_dependent() {
         log.contains(&"free=false".to_string()),
         "dependency must be detected: {log:?}"
     );
-    assert!(log.contains(&"pessimistic".to_string()), "owner rolled back");
+    assert!(
+        log.contains(&"pessimistic".to_string()),
+        "owner rolled back"
+    );
 }
 
 #[test]
@@ -894,10 +894,15 @@ fn await_definite_blocks_until_commitment() {
     let report = env.run();
     assert!(report.is_clean(), "{:?}", report.run.panics);
     let log = entries(&t);
-    assert!(log.iter().any(|l| l.starts_with("speculative at t=0.000000s")));
+    assert!(log
+        .iter()
+        .any(|l| l.starts_with("speculative at t=0.000000s")));
     let committed = log.iter().find(|l| l.starts_with("committed")).unwrap();
     // Commitment needs the 10ms verification plus protocol hops.
-    assert!(committed > &"committed at t=0.010".to_string(), "{committed}");
+    assert!(
+        committed > &"committed at t=0.010".to_string(),
+        "{committed}"
+    );
 }
 
 #[test]

@@ -12,8 +12,8 @@
 //!   without its assumptions affirmed, none is left behind when they are),
 //! * the run is deterministic for a fixed seed.
 
-use std::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use hope_core::HopeEnv;

@@ -14,14 +14,13 @@ pub struct RpcClient;
 impl RpcClient {
     /// Calls `method` on `server` and blocks until the reply arrives,
     /// paying the full network round trip plus service time.
-    pub fn call(
-        ctx: &mut ProcessCtx<'_>,
-        server: ProcessId,
-        method: u32,
-        body: Bytes,
-    ) -> Bytes {
+    pub fn call(ctx: &mut ProcessCtx<'_>, server: ProcessId, method: u32, body: Bytes) -> Bytes {
         let reply_channel = fresh_reply_channel(ctx);
-        ctx.send(server, CHANNEL_REQUEST, encode_request(method, reply_channel, &body));
+        ctx.send(
+            server,
+            CHANNEL_REQUEST,
+            encode_request(method, reply_channel, &body),
+        );
         let reply = ctx.receive(Some(reply_channel));
         reply.data
     }

@@ -175,10 +175,7 @@ mod tests {
     #[test]
     fn constant_predictor_always_predicts() {
         let mut p = ConstantPredictor::new(Bytes::from_static(b"ok"));
-        assert_eq!(
-            p.predict(1, &Bytes::new()),
-            Some(Bytes::from_static(b"ok"))
-        );
+        assert_eq!(p.predict(1, &Bytes::new()), Some(Bytes::from_static(b"ok")));
         p.observe(1, &Bytes::new(), &Bytes::from_static(b"other"));
         assert_eq!(
             p.predict(1, &Bytes::new()),

@@ -111,7 +111,11 @@ fn malformed_request_frames_are_dropped_by_servers() {
     });
     let report = env.run();
     assert!(report.is_clean(), "{:?}", report.run.panics);
-    assert_eq!(out.lock().unwrap().unwrap(), 1, "junk did not consume a slot");
+    assert_eq!(
+        out.lock().unwrap().unwrap(),
+        1,
+        "junk did not consume a slot"
+    );
 }
 
 #[test]
@@ -146,11 +150,13 @@ fn raw_envelope_injection_reaches_servers() {
         }
     });
     let src = hope_types::ProcessId::from_raw(9999);
-    env.runtime_mut().inject(
-        src,
-        sink,
-        Payload::User(UserMessage::new(0, Bytes::from_static(b"outside"))),
-    );
+    env.runtime_mut()
+        .inject(
+            src,
+            sink,
+            Payload::User(UserMessage::new(0, Bytes::from_static(b"outside"))),
+        )
+        .unwrap();
     let report = env.run();
     assert!(report.is_clean());
     assert_eq!(*counter.lock().unwrap(), 1);

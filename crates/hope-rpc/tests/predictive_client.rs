@@ -5,9 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use hope_core::HopeEnv;
-use hope_rpc::{
-    CallOutcome, FunctionPredictor, LastValuePredictor, PredictiveClient, RpcServer,
-};
+use hope_rpc::{CallOutcome, FunctionPredictor, LastValuePredictor, PredictiveClient, RpcServer};
 use hope_runtime::NetworkConfig;
 use hope_types::VirtualDuration;
 

@@ -35,6 +35,18 @@ pub trait ControlHandler: Send {
     /// Processes one HOPE message sent by `src` (an AID process, or a user
     /// process forwarding bookkeeping).
     fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi);
+
+    /// The attached process just crashed (fault injection): its links are
+    /// dead until restart. Handlers usually need no action here — volatile
+    /// protocol state conceptually dies with the process and is rebuilt on
+    /// restart. Default: no-op.
+    fn on_crash(&mut self, _api: &mut dyn ControlApi) {}
+
+    /// The attached process came back up after a crash. HOPElib handlers
+    /// recover here by discarding every speculative interval and replaying
+    /// the operation log back to the definite frontier (the paper's
+    /// rollback recovery doubles as crash recovery). Default: no-op.
+    fn on_restart(&mut self, _api: &mut dyn ControlApi) {}
 }
 
 /// A handler that ignores every control message; useful for raw-runtime

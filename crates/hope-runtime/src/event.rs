@@ -12,6 +12,24 @@ pub(crate) enum EventKind {
     Deliver(Envelope),
     /// A process finishes a compute step (or starts for the first time).
     Wake(ProcessId),
+    /// A scheduled fault takes the process down until `up_at` (see
+    /// [`FaultPlan`](crate::FaultPlan)); wakes arriving while it is down
+    /// are deferred to `up_at`.
+    Crash {
+        /// The process going down.
+        pid: ProcessId,
+        /// When its scheduled restart fires.
+        up_at: VirtualTime,
+    },
+    /// A crashed process comes back up and recovers.
+    Restart(ProcessId),
+    /// A reliable-delivery retransmission timer fires for `(link, seq)`;
+    /// `attempt` counts prior (re)transmissions of that envelope.
+    Retransmit {
+        link: crate::reliable::LinkId,
+        seq: u64,
+        attempt: u32,
+    },
 }
 
 /// A scheduled event. Ordering is `(time, tie)` where `tie` is a global
@@ -94,7 +112,10 @@ mod tests {
     fn pid_of(kind: &EventKind) -> u64 {
         match kind {
             EventKind::Wake(p) => p.as_raw(),
-            EventKind::Deliver(_) => unreachable!(),
+            EventKind::Deliver(_)
+            | EventKind::Crash { .. }
+            | EventKind::Restart(_)
+            | EventKind::Retransmit { .. } => unreachable!(),
         }
     }
 

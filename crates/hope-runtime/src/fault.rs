@@ -1,0 +1,277 @@
+//! Fault injection: seeded, deterministic message- and process-level
+//! failures.
+//!
+//! The paper assumes PVM's lossless FIFO links (DESIGN.md S1), so the
+//! happy-path runtimes never lose a message. A [`FaultPlan`] makes the
+//! substrate adversarial on purpose: each wire transit can be dropped or
+//! duplicated with configured probabilities, and processes can crash at
+//! scheduled virtual times and restart after a down window. Like
+//! [`NetworkConfig`](crate::NetworkConfig), the plan is declarative and
+//! seeded — the same plan and seed produce bit-identical fault schedules,
+//! so chaos runs are replayable.
+//!
+//! Configuring a fault plan automatically enables the reliable-delivery
+//! sublayer (see `reliable`), which restores the lossless FIFO contract
+//! the HOPE protocol needs on top of the now-lossy wire.
+
+use hope_types::{ProcessId, VirtualDuration, VirtualTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduled crash of one process: at `at`, the process's links go dead
+/// (every delivery to it is dropped and nothing is acknowledged); at
+/// `at + down_for` it restarts and its HOPElib recovers by replaying the
+/// operation log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// The process to crash (by spawn order, which is deterministic).
+    pub pid: ProcessId,
+    /// Virtual time of the crash.
+    pub at: VirtualTime,
+    /// How long the process stays down before restarting.
+    pub down_for: VirtualDuration,
+}
+
+/// Declarative fault configuration, converted into a runnable
+/// [`FaultModel`] by the runtime builders.
+///
+/// # Examples
+///
+/// ```
+/// use hope_runtime::FaultPlan;
+/// use hope_types::{ProcessId, VirtualDuration, VirtualTime};
+///
+/// let plan = FaultPlan::new()
+///     .drop_rate(0.15)
+///     .duplicate_rate(0.05)
+///     .crash(
+///         ProcessId::from_raw(2),
+///         VirtualTime::from_nanos(5_000_000),
+///         VirtualDuration::from_millis(20),
+///     );
+/// assert_eq!(plan.crashes().len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    drop_rate: f64,
+    duplicate_rate: f64,
+    seed: Option<u64>,
+    crashes: Vec<CrashPoint>,
+    rto: VirtualDuration,
+    max_retransmits: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            drop_rate: 0.0,
+            duplicate_rate: 0.0,
+            seed: None,
+            crashes: Vec::new(),
+            rto: VirtualDuration::from_millis(5),
+            max_retransmits: 32,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// An empty plan: no drops, no duplicates, no crashes. Useful as a
+    /// base for builder chains, and to force the reliable sublayer on
+    /// without injecting any faults.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Probability in `[0, 1)` that any single wire transit is dropped.
+    /// Applies to retransmissions and acknowledgements too.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rates outside `[0, 1)` — a rate of 1.0 would make the
+    /// retransmit loop unable to ever succeed.
+    pub fn drop_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..1.0).contains(&rate), "drop rate must be in [0, 1)");
+        self.drop_rate = rate;
+        self
+    }
+
+    /// Probability in `[0, 1)` that a transit is delivered twice (with
+    /// independent latencies, so the copies can arrive out of order).
+    pub fn duplicate_rate(mut self, rate: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "duplicate rate must be in [0, 1)"
+        );
+        self.duplicate_rate = rate;
+        self
+    }
+
+    /// Seed for the fault RNG. Defaults to the runtime seed, so one seed
+    /// reproduces the whole run including its faults.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Schedules a crash/restart of `pid` (see [`CrashPoint`]).
+    pub fn crash(mut self, pid: ProcessId, at: VirtualTime, down_for: VirtualDuration) -> Self {
+        self.crashes.push(CrashPoint { pid, at, down_for });
+        self
+    }
+
+    /// Base retransmission timeout for the reliable sublayer; doubles on
+    /// each unacknowledged attempt. Default 5 ms of virtual time.
+    pub fn rto(mut self, rto: VirtualDuration) -> Self {
+        assert!(rto > VirtualDuration::ZERO, "rto must be positive");
+        self.rto = rto;
+        self
+    }
+
+    /// Retransmission attempts before a send is abandoned (counted in
+    /// [`MessageStats`](crate::MessageStats) as a lost message). High by
+    /// default (32) because exponential backoff makes late attempts cheap.
+    pub fn max_retransmits(mut self, max: u32) -> Self {
+        self.max_retransmits = max;
+        self
+    }
+
+    /// The scheduled crashes.
+    pub fn crashes(&self) -> &[CrashPoint] {
+        &self.crashes
+    }
+
+    /// The configured base retransmission timeout.
+    pub fn retransmit_timeout(&self) -> VirtualDuration {
+        self.rto
+    }
+
+    /// The configured retransmission attempt cap.
+    pub fn retransmit_cap(&self) -> u32 {
+        self.max_retransmits
+    }
+
+    /// Builds the runnable model. `default_seed` (the runtime seed) is
+    /// used unless the plan pinned its own seed.
+    pub fn into_model(self, default_seed: u64) -> FaultModel {
+        let seed = self.seed.unwrap_or(default_seed);
+        FaultModel {
+            rng: StdRng::seed_from_u64(seed ^ 0x6661_756c_7473_2121),
+            plan: self,
+        }
+    }
+}
+
+/// What the fault model decided for one wire transit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireFate {
+    /// Deliver the message at all?
+    pub deliver: bool,
+    /// Deliver a second, independently delayed copy?
+    pub duplicate: bool,
+}
+
+impl WireFate {
+    /// The fate on a fault-free wire.
+    pub const CLEAN: WireFate = WireFate {
+        deliver: true,
+        duplicate: false,
+    };
+}
+
+/// Runnable fault state: the plan plus its seeded RNG. One instance per
+/// runtime; the runtime consults it once per wire transit, in
+/// deterministic order.
+#[derive(Debug)]
+pub struct FaultModel {
+    rng: StdRng,
+    plan: FaultPlan,
+}
+
+impl FaultModel {
+    /// Decides the fate of one wire transit. Always draws exactly two
+    /// samples, so the decision stream depends only on the number of
+    /// prior transits — not on their outcomes.
+    pub fn wire_fate(&mut self) -> WireFate {
+        let drop_draw = self.rng.next_u64() as f64 / u64::MAX as f64;
+        let dup_draw = self.rng.next_u64() as f64 / u64::MAX as f64;
+        WireFate {
+            deliver: drop_draw >= self.plan.drop_rate,
+            duplicate: dup_draw < self.plan.duplicate_rate,
+        }
+    }
+
+    /// The plan this model was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let plan = FaultPlan::new().drop_rate(0.3).duplicate_rate(0.2);
+        let mut a = plan.clone().into_model(99);
+        let mut b = plan.into_model(99);
+        for _ in 0..500 {
+            assert_eq!(a.wire_fate(), b.wire_fate());
+        }
+    }
+
+    #[test]
+    fn plan_seed_overrides_runtime_seed() {
+        let plan = FaultPlan::new().drop_rate(0.5).seed(7);
+        let mut a = plan.clone().into_model(1);
+        let mut b = plan.into_model(2);
+        for _ in 0..100 {
+            assert_eq!(a.wire_fate(), b.wire_fate());
+        }
+    }
+
+    #[test]
+    fn zero_rates_are_clean() {
+        let mut m = FaultPlan::new().into_model(3);
+        for _ in 0..100 {
+            assert_eq!(m.wire_fate(), WireFate::CLEAN);
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let mut m = FaultPlan::new().drop_rate(0.25).into_model(42);
+        let dropped = (0..10_000).filter(|_| !m.wire_fate().deliver).count();
+        assert!(
+            (2_000..3_000).contains(&dropped),
+            "≈25% of 10k transits should drop, got {dropped}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "drop rate")]
+    fn rejects_certain_loss() {
+        let _ = FaultPlan::new().drop_rate(1.0);
+    }
+
+    #[test]
+    fn crash_points_recorded_in_order() {
+        let plan = FaultPlan::new()
+            .crash(
+                p(1),
+                VirtualTime::from_nanos(10),
+                VirtualDuration::from_nanos(5),
+            )
+            .crash(
+                p(2),
+                VirtualTime::from_nanos(20),
+                VirtualDuration::from_nanos(5),
+            );
+        assert_eq!(plan.crashes()[0].pid, p(1));
+        assert_eq!(plan.crashes()[1].at, VirtualTime::from_nanos(20));
+    }
+}

@@ -19,6 +19,11 @@
 //!   ([`LatencyModel`], [`NetworkConfig`]), which is what the optimistic
 //!   primitives exist to hide; virtual time measures exactly how much
 //!   latency was avoided.
+//! * **Fault injection** ([`FaultPlan`]) makes the wire lossy — seeded
+//!   drops, duplicates and scheduled crash/restarts — and enables the
+//!   reliable-delivery sublayer (per-link sequencing, acks, retransmission
+//!   with backoff, receiver dedup) that restores the lossless contract the
+//!   protocol assumes. Off by default; fault-free runs are untouched.
 //!
 //! The runtime is quiescence-driven: [`SimRuntime::run`] processes events in
 //! virtual-time order until no event remains, then reports which processes
@@ -58,19 +63,23 @@
 mod actor;
 mod control;
 mod event;
+mod fault;
 mod net;
+mod reliable;
 mod runtime;
 mod stats;
 mod sysapi;
 mod threaded;
-mod trace;
 mod threadproc;
+mod trace;
 
 pub use actor::{Actor, ActorApi, NullActor};
 pub use control::{ControlApi, ControlHandler, NullControl};
+pub use fault::{CrashPoint, FaultModel, FaultPlan, WireFate};
 pub use net::{LatencyModel, NetworkConfig};
+pub use reliable::{LinkId, ReliableState};
 pub use runtime::{ProcessStatus, RuntimeBuilder, SimRuntime};
-pub use stats::{MessageStats, PartyKind, RunReport};
+pub use stats::{LinkStats, MessageStats, PartyKind, RunReport};
 pub use sysapi::{ProcessBody, Received, SysApi};
 pub use threaded::{ThreadedRuntime, ThreadedRuntimeBuilder};
 pub use trace::{Trace, TraceEvent};

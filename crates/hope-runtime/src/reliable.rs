@@ -1,0 +1,208 @@
+//! Reliable-delivery sublayer: per-link sequence numbers, acknowledgement,
+//! retransmission with exponential backoff, and receiver-side
+//! deduplication.
+//!
+//! HOPE (the paper, §2) is built over PVM's reliable FIFO message layer;
+//! DESIGN.md §3 records the substitutions this reproduction makes for
+//! 1996-era infrastructure. When a [`FaultPlan`](crate::FaultPlan) makes
+//! the wire lossy, this sublayer restores the at-least-once contract —
+//! upgraded to exactly-once by dedup — that the protocol's correctness
+//! argument (theorem 5.1: no affirm or deny may be lost) depends on:
+//!
+//! * every reliable envelope carries a per-`(src, dst)` link sequence
+//!   number (`Envelope::seq`, 1-based; 0 marks the sublayer disabled),
+//! * the receiving link endpoint immediately acknowledges each arrival
+//!   with a [`Payload::Ack`](hope_types::Payload::Ack) datagram — acks
+//!   travel the same faulty wire but are never sequenced, retransmitted,
+//!   or delivered to a process,
+//! * the sender retransmits unacknowledged envelopes on a doubling
+//!   timeout until acked or a retry cap abandons them,
+//! * the receiver delivers each sequence number at most once, re-acking
+//!   (but not re-delivering) duplicates, whether they come from wire
+//!   duplication or from retransmission racing a slow ack.
+//!
+//! The state machine lives here, runtime-agnostic; the virtual-time
+//! simulator and the wall-clock threaded runtime both drive it from their
+//! own schedulers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use hope_types::{Envelope, ProcessId};
+
+/// A directed link: (sender, receiver).
+pub type LinkId = (ProcessId, ProcessId);
+
+/// Receiver-side record of which sequence numbers a link has delivered.
+///
+/// Kept compact: a contiguous prefix (`..=prefix` all seen) plus the set of
+/// out-of-order arrivals beyond it, which drain into the prefix as gaps
+/// fill. Latency jitter reorders legitimately, so this must not assume
+/// in-order arrival even though senders number in order.
+#[derive(Debug, Default, Clone)]
+struct SeqWindow {
+    prefix: u64,
+    beyond: BTreeSet<u64>,
+}
+
+impl SeqWindow {
+    /// Records `seq`; returns true iff this is its first arrival.
+    fn observe(&mut self, seq: u64) -> bool {
+        if seq <= self.prefix || !self.beyond.insert(seq) {
+            return false;
+        }
+        while self.beyond.remove(&(self.prefix + 1)) {
+            self.prefix += 1;
+        }
+        true
+    }
+}
+
+/// The shared reliable-delivery state machine for one runtime: sender-side
+/// sequencing and retransmit buffers, receiver-side dedup windows.
+///
+/// All maps are ordered so iteration (and therefore simulator behaviour)
+/// is deterministic.
+#[derive(Debug, Default)]
+pub struct ReliableState {
+    next_seq: BTreeMap<LinkId, u64>,
+    pending: BTreeMap<(LinkId, u64), Envelope>,
+    seen: BTreeMap<LinkId, SeqWindow>,
+}
+
+impl ReliableState {
+    /// Fresh state with no links established.
+    pub fn new() -> Self {
+        ReliableState::default()
+    }
+
+    /// Allocates the next sequence number for `link` (1-based; 0 is the
+    /// sublayer-off sentinel on [`Envelope::seq`]).
+    pub fn assign_seq(&mut self, link: LinkId) -> u64 {
+        let next = self.next_seq.entry(link).or_insert(0);
+        *next += 1;
+        *next
+    }
+
+    /// Buffers `envelope` for retransmission until acknowledged. The
+    /// envelope must already carry its assigned `seq`.
+    pub fn track(&mut self, envelope: Envelope) {
+        debug_assert!(envelope.seq > 0, "track() needs a sequenced envelope");
+        self.pending
+            .insert(((envelope.src, envelope.dst), envelope.seq), envelope);
+    }
+
+    /// Processes an ack for `seq` on `link`; returns true if a pending
+    /// envelope was retired (false for duplicate/stale acks).
+    pub fn acknowledge(&mut self, link: LinkId, seq: u64) -> bool {
+        self.pending.remove(&(link, seq)).is_some()
+    }
+
+    /// The still-unacknowledged envelope for `(link, seq)`, if any — what a
+    /// retransmit timer should resend.
+    pub fn unacked(&self, link: LinkId, seq: u64) -> Option<&Envelope> {
+        self.pending.get(&(link, seq))
+    }
+
+    /// Drops the retransmit buffer entry after the retry cap; returns true
+    /// if it was still pending (i.e. the message is now known lost).
+    pub fn abandon(&mut self, link: LinkId, seq: u64) -> bool {
+        self.pending.remove(&(link, seq)).is_some()
+    }
+
+    /// Receiver-side dedup: records the arrival of `seq` on `link` and
+    /// returns true iff it should be delivered (first arrival).
+    pub fn accept(&mut self, link: LinkId, seq: u64) -> bool {
+        self.seen.entry(link).or_default().observe(seq)
+    }
+
+    /// Number of envelopes awaiting acknowledgement (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// The retransmission delay for `attempt` (0-based): `rto << attempt`,
+/// saturating, so backoff doubles per attempt.
+pub fn backoff_nanos(rto_nanos: u64, attempt: u32) -> u64 {
+    rto_nanos.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_types::{Payload, UserMessage, VirtualTime};
+
+    fn p(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn env(src: u64, dst: u64, seq: u64) -> Envelope {
+        Envelope {
+            src: p(src),
+            dst: p(dst),
+            sent_at: VirtualTime::ZERO,
+            seq,
+            payload: Payload::User(UserMessage::new(0, bytes::Bytes::new())),
+        }
+    }
+
+    #[test]
+    fn sequences_are_per_link_and_one_based() {
+        let mut st = ReliableState::new();
+        assert_eq!(st.assign_seq((p(1), p(2))), 1);
+        assert_eq!(st.assign_seq((p(1), p(2))), 2);
+        assert_eq!(st.assign_seq((p(2), p(1))), 1, "reverse link is distinct");
+        assert_eq!(st.assign_seq((p(1), p(3))), 1);
+    }
+
+    #[test]
+    fn ack_retires_pending_exactly_once() {
+        let mut st = ReliableState::new();
+        st.track(env(1, 2, 1));
+        assert!(st.unacked((p(1), p(2)), 1).is_some());
+        assert!(st.acknowledge((p(1), p(2)), 1));
+        assert!(st.unacked((p(1), p(2)), 1).is_none());
+        assert!(!st.acknowledge((p(1), p(2)), 1), "duplicate ack is a no-op");
+        assert_eq!(st.in_flight(), 0);
+    }
+
+    #[test]
+    fn dedup_accepts_each_seq_once_in_any_order() {
+        let mut st = ReliableState::new();
+        let link = (p(1), p(2));
+        assert!(st.accept(link, 2), "out-of-order first arrival delivers");
+        assert!(st.accept(link, 1));
+        assert!(!st.accept(link, 1), "retransmitted copy suppressed");
+        assert!(!st.accept(link, 2), "wire duplicate suppressed");
+        assert!(st.accept(link, 3));
+    }
+
+    #[test]
+    fn dedup_window_compacts_to_prefix() {
+        let mut st = ReliableState::new();
+        let link = (p(1), p(2));
+        for seq in (1..=100).rev() {
+            assert!(st.accept(link, seq));
+        }
+        let window = st.seen.get(&link).unwrap();
+        assert_eq!(window.prefix, 100);
+        assert!(window.beyond.is_empty(), "no stragglers retained");
+    }
+
+    #[test]
+    fn abandon_reports_whether_message_was_lost() {
+        let mut st = ReliableState::new();
+        st.track(env(1, 2, 5));
+        assert!(st.abandon((p(1), p(2)), 5));
+        assert!(!st.abandon((p(1), p(2)), 5));
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        assert_eq!(backoff_nanos(1_000, 0), 1_000);
+        assert_eq!(backoff_nanos(1_000, 1), 2_000);
+        assert_eq!(backoff_nanos(1_000, 10), 1_024_000);
+        assert_eq!(backoff_nanos(u64::MAX, 3), u64::MAX);
+        assert_eq!(backoff_nanos(1, 64), u64::MAX, "shift overflow saturates");
+    }
+}

@@ -1,5 +1,6 @@
 //! The deterministic virtual-time scheduler.
 
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -7,12 +8,16 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
-use hope_types::{Envelope, HopeMessage, Payload, ProcessId, VirtualTime};
+use hope_types::{
+    Envelope, HopeError, HopeMessage, Payload, ProcessId, VirtualDuration, VirtualTime,
+};
 
 use crate::actor::Actor;
 use crate::control::ControlHandler;
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
+use crate::reliable::{backoff_nanos, LinkId, ReliableState};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 use crate::threadproc::{Resume, Shared, SpawnKind, SpawnRequest, ThreadCtx, YieldMsg};
@@ -73,6 +78,8 @@ pub struct RuntimeBuilder {
     network: NetworkConfig,
     max_events: u64,
     trace_capacity: usize,
+    faults: Option<FaultPlan>,
+    reliable: bool,
 }
 
 impl Default for RuntimeBuilder {
@@ -82,6 +89,8 @@ impl Default for RuntimeBuilder {
             network: NetworkConfig::default(),
             max_events: 50_000_000,
             trace_capacity: 0,
+            faults: None,
+            reliable: false,
         }
     }
 }
@@ -113,11 +122,46 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Injects faults per `plan` (drops, duplicates, crash/restarts) and
+    /// enables the reliable-delivery sublayer to mask them. Without a plan
+    /// (and without [`RuntimeBuilder::reliable`]) the wire is lossless and
+    /// sequencing is off — existing runs stay bit-identical.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Forces the reliable-delivery sublayer on even with a lossless wire
+    /// (sequence numbers, acks and retransmit timers run; useful for
+    /// testing the sublayer itself).
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.reliable = on;
+        self
+    }
+
     /// Builds the runtime.
     pub fn build(self) -> SimRuntime {
+        let mut queue = EventQueue::new();
+        let reliable = self.reliable || self.faults.is_some();
+        let (rto_nanos, max_retransmits) = self
+            .faults
+            .as_ref()
+            .map(|p| (p.retransmit_timeout().as_nanos(), p.retransmit_cap()))
+            .unwrap_or_else(|| {
+                let d = FaultPlan::default();
+                (d.retransmit_timeout().as_nanos(), d.retransmit_cap())
+            });
+        let fault = self.faults.map(|plan| {
+            for c in plan.crashes() {
+                let up_at = c.at + c.down_for;
+                queue.push(c.at, EventKind::Crash { pid: c.pid, up_at });
+                queue.push(up_at, EventKind::Restart(c.pid));
+            }
+            plan.into_model(self.seed)
+        });
         SimRuntime {
             procs: Vec::new(),
-            queue: EventQueue::new(),
+            queue,
             clock: VirtualTime::ZERO,
             latency: self.network.into_model(self.seed),
             stats: MessageStats::new(),
@@ -131,6 +175,15 @@ impl RuntimeBuilder {
             } else {
                 None
             },
+            fault,
+            rel: if reliable {
+                Some(ReliableState::new())
+            } else {
+                None
+            },
+            down: BTreeMap::new(),
+            rto_nanos,
+            max_retransmits,
         }
     }
 }
@@ -150,6 +203,14 @@ pub struct SimRuntime {
     panics: Vec<(ProcessId, String)>,
     trace: Option<crate::trace::Trace>,
     collected: u64,
+    /// Fault model, when fault injection is configured.
+    fault: Option<FaultModel>,
+    /// Reliable-delivery link state, when the sublayer is enabled.
+    rel: Option<ReliableState>,
+    /// Crashed processes: raw pid -> restart time (for wake deferral).
+    down: BTreeMap<u64, VirtualTime>,
+    rto_nanos: u64,
+    max_retransmits: u32,
 }
 
 /// Collects sends (and a wake request) issued by an actor or control
@@ -281,8 +342,25 @@ impl SimRuntime {
 
     /// Injects a message from outside the simulation (delivered with normal
     /// network latency). Useful in tests and open-loop workloads.
-    pub fn inject(&mut self, src: ProcessId, dst: ProcessId, payload: Payload) {
+    ///
+    /// # Errors
+    ///
+    /// [`HopeError::UnknownProcess`] if `dst` was never spawned (also
+    /// counted in [`LinkStats::unroutable`](crate::LinkStats)). A
+    /// garbage-collected destination is not an error: the send is
+    /// scheduled and dropped at delivery, like any late in-flight message.
+    pub fn inject(
+        &mut self,
+        src: ProcessId,
+        dst: ProcessId,
+        payload: Payload,
+    ) -> Result<(), HopeError> {
+        if dst.as_raw() as usize >= self.procs.len() {
+            self.stats.link_mut().unroutable += 1;
+            return Err(HopeError::UnknownProcess(dst));
+        }
         self.schedule_send(src, dst, payload, self.clock);
+        Ok(())
     }
 
     /// Runs until quiescence (no events left) or the event limit, and
@@ -312,8 +390,16 @@ impl SimRuntime {
                 break;
             }
             match ev.kind {
-                EventKind::Wake(pid) => self.wake(pid),
+                EventKind::Wake(pid) => match self.down.get(&pid.as_raw()) {
+                    // Crashed processes don't run; finish the wake once the
+                    // process is back up.
+                    Some(&up_at) => self.queue.push(up_at, EventKind::Wake(pid)),
+                    None => self.wake(pid),
+                },
                 EventKind::Deliver(env) => self.deliver(env),
+                EventKind::Crash { pid, up_at } => self.crash(pid, up_at),
+                EventKind::Restart(pid) => self.restart(pid),
+                EventKind::Retransmit { link, seq, attempt } => self.retransmit(link, seq, attempt),
             }
         }
         self.report(hit_limit)
@@ -325,8 +411,7 @@ impl SimRuntime {
             .iter()
             .filter_map(|slot| match slot {
                 ProcSlot::Threaded(e)
-                    if e.status == ProcessStatus::Blocked
-                        || e.status == ProcessStatus::Parked =>
+                    if e.status == ProcessStatus::Blocked || e.status == ProcessStatus::Parked =>
                 {
                     Some((e.pid, e.name.clone()))
                 }
@@ -403,15 +488,140 @@ impl SimRuntime {
         payload: Payload,
         sent_at: VirtualTime,
     ) {
-        let latency = self.latency.sample(src, dst, sent_at);
-        let env = Envelope {
+        let mut env = Envelope {
             src,
             dst,
             sent_at,
             seq: 0,
             payload,
         };
-        self.queue.push(sent_at + latency, EventKind::Deliver(env));
+        // Reliable sublayer: sequence the envelope, buffer it for
+        // retransmission and arm the first timer. Acks stay unsequenced
+        // (no ack-of-ack regress) and unbuffered: a lost ack is recovered
+        // by the data retransmit it would have suppressed.
+        if let Some(rel) = self.rel.as_mut() {
+            if !matches!(env.payload, Payload::Ack { .. }) {
+                let link: LinkId = (src, dst);
+                env.seq = rel.assign_seq(link);
+                rel.track(env.clone());
+                self.queue.push(
+                    sent_at + VirtualDuration::from_nanos(self.rto_nanos),
+                    EventKind::Retransmit {
+                        link,
+                        seq: env.seq,
+                        attempt: 0,
+                    },
+                );
+            }
+        }
+        self.transmit(env, sent_at);
+    }
+
+    /// Puts one envelope on the wire: consults the fault model, then
+    /// schedules delivery (and possibly a duplicate) with sampled latency.
+    fn transmit(&mut self, env: Envelope, at: VirtualTime) {
+        let fate = match self.fault.as_mut() {
+            Some(model) => model.wire_fate(),
+            None => WireFate::CLEAN,
+        };
+        if !fate.deliver {
+            self.stats.link_mut().fault_dropped += 1;
+            return;
+        }
+        if fate.duplicate {
+            let extra = self.latency.sample(env.src, env.dst, at);
+            self.stats.link_mut().duplicated += 1;
+            self.queue.push(at + extra, EventKind::Deliver(env.clone()));
+        }
+        let latency = self.latency.sample(env.src, env.dst, at);
+        self.queue.push(at + latency, EventKind::Deliver(env));
+    }
+
+    fn crash(&mut self, pid: ProcessId, up_at: VirtualTime) {
+        if self.down.insert(pid.as_raw(), up_at).is_some() {
+            return; // overlapping crash windows merge
+        }
+        // Tell the attached control handler (default no-op). A crashed
+        // process sends nothing, so outgoing traffic is discarded.
+        let idx = pid.as_raw() as usize;
+        let handler = match self.procs.get_mut(idx) {
+            Some(ProcSlot::Threaded(entry)) => entry.control.take(),
+            _ => None,
+        };
+        if let Some(mut handler) = handler {
+            let mut api = OutboxApi {
+                pid,
+                now: self.clock,
+                out: Vec::new(),
+                wake: false,
+                stop: false,
+            };
+            handler.on_crash(&mut api);
+            if let Some(ProcSlot::Threaded(entry)) = self.procs.get_mut(idx) {
+                entry.control = Some(handler);
+            }
+        }
+    }
+
+    fn restart(&mut self, pid: ProcessId) {
+        if self.down.remove(&pid.as_raw()).is_none() {
+            return;
+        }
+        let idx = pid.as_raw() as usize;
+        let handler = match self.procs.get_mut(idx) {
+            Some(ProcSlot::Threaded(entry)) => entry.control.take(),
+            _ => None,
+        };
+        let Some(mut handler) = handler else {
+            return;
+        };
+        let mut api = OutboxApi {
+            pid,
+            now: self.clock,
+            out: Vec::new(),
+            wake: false,
+            stop: false,
+        };
+        handler.on_restart(&mut api);
+        let status = {
+            let ProcSlot::Threaded(entry) = &mut self.procs[idx] else {
+                unreachable!("slot kind cannot change during restart")
+            };
+            entry.control = Some(handler);
+            entry.status
+        };
+        for (to, payload) in api.out {
+            self.schedule_send(pid, to, payload, self.clock);
+        }
+        if api.wake && (status == ProcessStatus::Blocked || status == ProcessStatus::Parked) {
+            self.run_threaded(pid);
+        }
+    }
+
+    fn retransmit(&mut self, link: LinkId, seq: u64, attempt: u32) {
+        let env = match self.rel.as_ref().and_then(|rel| rel.unacked(link, seq)) {
+            Some(env) => env.clone(),
+            None => return, // acked in the meantime: timer expires silently
+        };
+        if attempt >= self.max_retransmits {
+            if let Some(rel) = self.rel.as_mut() {
+                rel.abandon(link, seq);
+            }
+            self.stats.link_mut().abandoned += 1;
+            return;
+        }
+        self.stats.link_mut().retransmits += 1;
+        let next = attempt + 1;
+        let delay = backoff_nanos(self.rto_nanos, next);
+        self.queue.push(
+            self.clock + VirtualDuration::from_nanos(delay),
+            EventKind::Retransmit {
+                link,
+                seq,
+                attempt: next,
+            },
+        );
+        self.transmit(env, self.clock);
     }
 
     fn wake(&mut self, pid: ProcessId) {
@@ -429,12 +639,44 @@ impl SimRuntime {
     fn deliver(&mut self, env: Envelope) {
         let idx = env.dst.as_raw() as usize;
         if idx >= self.procs.len() {
+            self.stats.link_mut().unroutable += 1;
             self.stats.record_dropped();
             return;
+        }
+        // A crashed destination's wire is dead: nothing arrives, nothing
+        // is acked (the sender's retransmits carry the message past the
+        // down window).
+        if self.down.contains_key(&env.dst.as_raw()) {
+            self.stats.link_mut().crash_dropped += 1;
+            return;
+        }
+        // Link-layer ack: retire the sender's retransmit buffer entry and
+        // stop — acks never reach a process.
+        if let Payload::Ack { seq } = env.payload {
+            self.stats.link_mut().acks += 1;
+            if let Some(rel) = self.rel.as_mut() {
+                rel.acknowledge((env.dst, env.src), seq);
+            }
+            return;
+        }
+        // Reliable data envelope: ack every arrival (a duplicate usually
+        // means the first ack was lost), deliver only the first.
+        if env.seq > 0 && self.rel.is_some() {
+            self.schedule_send(env.dst, env.src, Payload::Ack { seq: env.seq }, self.clock);
+            let first = self
+                .rel
+                .as_mut()
+                .expect("checked above")
+                .accept((env.src, env.dst), env.seq);
+            if !first {
+                self.stats.link_mut().dedup_dropped += 1;
+                return;
+            }
         }
         let kind: &'static str = match &env.payload {
             Payload::User(_) => "User",
             Payload::Hope(m) => m.kind(),
+            Payload::Ack { .. } => unreachable!("acks are consumed above"),
         };
         let from = self.party_kind(env.src);
         let to = self.party_kind(env.dst);
@@ -451,6 +693,7 @@ impl SimRuntime {
             ProcSlot::Threaded(_) => match env.payload {
                 Payload::User(msg) => self.deliver_user(idx, env.src, msg),
                 Payload::Hope(hope) => self.dispatch_control(env.dst, env.src, hope),
+                Payload::Ack { .. } => unreachable!("acks are consumed above"),
             },
         }
     }

@@ -33,10 +33,61 @@ impl fmt::Display for PartyKind {
 ///
 /// `message kind` is `"User"` for application messages or the HOPE message
 /// name (`"Guess"`, `"Affirm"`, `"Deny"`, `"Replace"`, `"Rollback"`).
+/// Reliability and fault-injection counters, kept apart from the Table 1
+/// `counts` map so fault runs don't distort the paper's accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Transits the fault model dropped on the wire.
+    pub fault_dropped: u64,
+    /// Extra copies the fault model injected.
+    pub duplicated: u64,
+    /// Deliveries suppressed because the destination was down (crashed).
+    pub crash_dropped: u64,
+    /// Retransmissions performed by the reliable sublayer.
+    pub retransmits: u64,
+    /// Envelopes abandoned after exhausting the retransmission cap.
+    pub abandoned: u64,
+    /// Link-layer acknowledgements delivered (consumed by the runtime,
+    /// never handed to a process).
+    pub acks: u64,
+    /// Arrivals suppressed by receiver-side dedup (retransmit raced a slow
+    /// ack, or the wire duplicated).
+    pub dedup_dropped: u64,
+    /// Messages addressed to a process the runtime never knew.
+    pub unroutable: u64,
+}
+
+impl LinkStats {
+    fn is_empty(&self) -> bool {
+        *self == LinkStats::default()
+    }
+}
+
+impl fmt::Display for LinkStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fault_dropped={} duplicated={} crash_dropped={} retransmits={} \
+             abandoned={} acks={} dedup_dropped={} unroutable={}",
+            self.fault_dropped,
+            self.duplicated,
+            self.crash_dropped,
+            self.retransmits,
+            self.abandoned,
+            self.acks,
+            self.dedup_dropped,
+            self.unroutable
+        )
+    }
+}
+
+/// Per-kind message delivery counts (the paper's Table 1 accounting),
+/// plus drop and reliable-sublayer counters.
 #[derive(Debug, Default, Clone)]
 pub struct MessageStats {
     counts: BTreeMap<(&'static str, PartyKind, PartyKind), u64>,
     dropped: u64,
+    link: LinkStats,
 }
 
 impl MessageStats {
@@ -92,6 +143,16 @@ impl MessageStats {
         self.dropped
     }
 
+    /// Reliability / fault-injection counters.
+    pub fn link(&self) -> &LinkStats {
+        &self.link
+    }
+
+    /// Mutable access for the runtimes' link layers.
+    pub(crate) fn link_mut(&mut self) -> &mut LinkStats {
+        &mut self.link
+    }
+
     /// Iterates `(kind, from, to, count)` rows in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, PartyKind, PartyKind, u64)> + '_ {
         self.counts.iter().map(|(&(k, f, t), &c)| (k, f, t, c))
@@ -100,12 +161,19 @@ impl MessageStats {
 
 impl fmt::Display for MessageStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<10} {:<6} {:<6} {:>10}", "Type", "From", "To", "Count")?;
+        writeln!(
+            f,
+            "{:<10} {:<6} {:<6} {:>10}",
+            "Type", "From", "To", "Count"
+        )?;
         for (kind, from, to, count) in self.iter() {
             writeln!(f, "{kind:<10} {from:<6} {to:<6} {count:>10}")?;
         }
         if self.dropped > 0 {
             writeln!(f, "(dropped: {})", self.dropped)?;
+        }
+        if !self.link.is_empty() {
+            writeln!(f, "(link: {})", self.link)?;
         }
         Ok(())
     }
@@ -169,6 +237,20 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("Deny"));
         assert!(text.contains("AID"));
+    }
+
+    #[test]
+    fn link_counters_render_only_when_used() {
+        let mut s = MessageStats::new();
+        assert!(!s.to_string().contains("link:"));
+        s.link_mut().retransmits += 2;
+        s.link_mut().acks += 5;
+        let text = s.to_string();
+        assert!(text.contains("retransmits=2"));
+        assert!(text.contains("acks=5"));
+        assert_eq!(s.link().retransmits, 2);
+        // Table 1 accounting is unaffected by link-layer traffic.
+        assert_eq!(s.total(), 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! use this runtime to validate that nothing depends on the simulator's
 //! cooperative scheduling.
 
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -26,15 +26,33 @@ use hope_types::{Envelope, Payload, ProcessId, VirtualDuration, VirtualTime};
 
 use crate::actor::{Actor, ActorApi};
 use crate::control::{ControlApi, ControlHandler};
+use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
+use crate::reliable::{backoff_nanos, LinkId, ReliableState};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 
-/// A message scheduled for wall-clock delivery.
+/// What a scheduled dispatcher item does when it comes due.
+enum Work {
+    /// Deliver one envelope.
+    Deliver(Envelope),
+    /// Reliable-sublayer retransmission timer for `(link, seq)`.
+    Retransmit {
+        link: LinkId,
+        seq: u64,
+        attempt: u32,
+    },
+    /// Take a process down until `up_at` (fault injection).
+    Crash { pid: ProcessId, up_at: Instant },
+    /// Bring a crashed process back up and run its recovery hook.
+    Restart(ProcessId),
+}
+
+/// A dispatcher work item scheduled for a wall-clock instant.
 struct Scheduled {
     due: Instant,
     seq: u64,
-    envelope: Envelope,
+    work: Work,
 }
 
 impl PartialEq for Scheduled {
@@ -94,6 +112,14 @@ struct Inner {
     shutdown: AtomicBool,
     start: Instant,
     seed: u64,
+    /// Fault model, when fault injection is configured.
+    fault: Option<Mutex<FaultModel>>,
+    /// Reliable-delivery link state; `None` when the sublayer is off.
+    rel: Option<Mutex<ReliableState>>,
+    /// Crashed processes: raw pid -> restart instant.
+    down: Mutex<BTreeMap<u64, Instant>>,
+    rto: Duration,
+    max_retransmits: u32,
 }
 
 impl Inner {
@@ -102,9 +128,29 @@ impl Inner {
     }
 
     fn party_kind(&self, pid: ProcessId) -> PartyKind {
-        match self.procs.lock().get(pid.as_raw() as usize).map(Arc::as_ref) {
+        match self
+            .procs
+            .lock()
+            .get(pid.as_raw() as usize)
+            .map(Arc::as_ref)
+        {
             Some(Slot::Actor { .. }) => PartyKind::Aid,
             _ => PartyKind::User,
+        }
+    }
+
+    /// Hands one work item to the dispatcher; `in_flight` counts every
+    /// queued item (deliveries *and* timers) so quiescence waits for the
+    /// reliable sublayer to settle.
+    fn schedule(&self, due: Instant, work: Work) {
+        self.in_flight.fetch_add(1, Ordering::AcqRel);
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        if self
+            .to_dispatcher
+            .send(Scheduled { due, seq, work })
+            .is_err()
+        {
+            self.in_flight.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -112,34 +158,104 @@ impl Inner {
         if self.shutdown.load(Ordering::Acquire) {
             return;
         }
-        let latency = {
-            let mut model = self.latency.lock();
-            model.sample(src, dst, self.now())
-        };
-        let due = Instant::now() + Duration::from(latency);
-        let envelope = Envelope {
+        let mut envelope = Envelope {
             src,
             dst,
             sent_at: self.now(),
             seq: 0,
             payload,
         };
-        self.in_flight.fetch_add(1, Ordering::AcqRel);
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        if self
-            .to_dispatcher
-            .send(Scheduled { due, seq, envelope })
-            .is_err()
-        {
-            self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        // Reliable sublayer: sequence, buffer for retransmission, arm the
+        // first timer. Acks stay unsequenced and unbuffered.
+        if let Some(rel) = self.rel.as_ref() {
+            if !matches!(envelope.payload, Payload::Ack { .. }) {
+                let link: LinkId = (src, dst);
+                let mut rel = rel.lock();
+                envelope.seq = rel.assign_seq(link);
+                rel.track(envelope.clone());
+                drop(rel);
+                self.schedule(
+                    Instant::now() + self.rto,
+                    Work::Retransmit {
+                        link,
+                        seq: envelope.seq,
+                        attempt: 0,
+                    },
+                );
+            }
         }
+        self.transmit(envelope);
+    }
+
+    /// Puts one envelope on the wire: fault model first, then latency.
+    fn transmit(&self, envelope: Envelope) {
+        let fate = match self.fault.as_ref() {
+            Some(model) => model.lock().wire_fate(),
+            None => WireFate::CLEAN,
+        };
+        if !fate.deliver {
+            self.stats.lock().link_mut().fault_dropped += 1;
+            return;
+        }
+        if fate.duplicate {
+            let extra = {
+                let mut model = self.latency.lock();
+                model.sample(envelope.src, envelope.dst, self.now())
+            };
+            self.stats.lock().link_mut().duplicated += 1;
+            self.schedule(
+                Instant::now() + Duration::from(extra),
+                Work::Deliver(envelope.clone()),
+            );
+        }
+        let latency = {
+            let mut model = self.latency.lock();
+            model.sample(envelope.src, envelope.dst, self.now())
+        };
+        self.schedule(
+            Instant::now() + Duration::from(latency),
+            Work::Deliver(envelope),
+        );
     }
 
     /// Dispatcher-side delivery of one due envelope.
     fn deliver(self: &Arc<Self>, envelope: Envelope) {
+        // Crashed destination: the wire is dead until restart.
+        if self.down.lock().contains_key(&envelope.dst.as_raw()) {
+            self.stats.lock().link_mut().crash_dropped += 1;
+            return;
+        }
+        // Link-layer ack: retire the retransmit buffer entry; never
+        // delivered to a process.
+        if let Payload::Ack { seq } = envelope.payload {
+            self.stats.lock().link_mut().acks += 1;
+            if let Some(rel) = self.rel.as_ref() {
+                rel.lock().acknowledge((envelope.dst, envelope.src), seq);
+            }
+            return;
+        }
+        // Reliable data envelope: ack every arrival, deliver only the
+        // first copy.
+        if envelope.seq > 0 {
+            if let Some(rel) = self.rel.as_ref() {
+                let first = rel
+                    .lock()
+                    .accept((envelope.src, envelope.dst), envelope.seq);
+                self.send(
+                    envelope.dst,
+                    envelope.src,
+                    Payload::Ack { seq: envelope.seq },
+                );
+                if !first {
+                    self.stats.lock().link_mut().dedup_dropped += 1;
+                    return;
+                }
+            }
+        }
         let kind: &'static str = match &envelope.payload {
             Payload::User(_) => "User",
             Payload::Hope(m) => m.kind(),
+            Payload::Ack { .. } => unreachable!("acks are consumed above"),
         };
         let from = self.party_kind(envelope.src);
         let to = self.party_kind(envelope.dst);
@@ -148,7 +264,9 @@ impl Inner {
             procs.get(envelope.dst.as_raw() as usize).cloned()
         };
         let Some(slot) = slot else {
-            self.stats.lock().record_dropped();
+            let mut stats = self.stats.lock();
+            stats.link_mut().unroutable += 1;
+            stats.record_dropped();
             return;
         };
         self.stats.lock().record(kind, from, to);
@@ -170,7 +288,9 @@ impl Inner {
                     procs[pid.as_raw() as usize] = Arc::new(Slot::Gone);
                 }
             }
-            Slot::Threaded { shared, control, .. } => match envelope.payload {
+            Slot::Threaded {
+                shared, control, ..
+            } => match envelope.payload {
                 Payload::User(msg) => {
                     shared.mailbox.lock().push_back(Received {
                         src: envelope.src,
@@ -195,8 +315,93 @@ impl Inner {
                         shared.wakeup.notify_all();
                     }
                 }
+                Payload::Ack { .. } => unreachable!("acks are consumed above"),
             },
         }
+    }
+
+    /// Fault injection: take `pid` down until `up_at`.
+    fn crash(self: &Arc<Self>, pid: ProcessId, up_at: Instant) {
+        if self.down.lock().insert(pid.as_raw(), up_at).is_some() {
+            return; // overlapping crash windows merge
+        }
+        let slot = {
+            let procs = self.procs.lock();
+            procs.get(pid.as_raw() as usize).cloned()
+        };
+        if let Some(slot) = slot {
+            if let Slot::Threaded { control, .. } = slot.as_ref() {
+                let mut api = DispatchApi {
+                    inner: self.clone(),
+                    pid,
+                    wake: false,
+                    stop: false,
+                };
+                if let Some(handler) = control.lock().as_mut() {
+                    handler.on_crash(&mut api);
+                }
+            }
+        }
+    }
+
+    /// Fault injection: bring `pid` back up and run its recovery hook.
+    fn restart(self: &Arc<Self>, pid: ProcessId) {
+        if self.down.lock().remove(&pid.as_raw()).is_none() {
+            return;
+        }
+        let slot = {
+            let procs = self.procs.lock();
+            procs.get(pid.as_raw() as usize).cloned()
+        };
+        let Some(slot) = slot else { return };
+        if let Slot::Threaded {
+            shared, control, ..
+        } = slot.as_ref()
+        {
+            let mut api = DispatchApi {
+                inner: self.clone(),
+                pid,
+                wake: false,
+                stop: false,
+            };
+            if let Some(handler) = control.lock().as_mut() {
+                handler.on_restart(&mut api);
+            }
+            if api.wake {
+                shared.control_poke.store(true, Ordering::Release);
+                shared.wakeup.notify_all();
+            }
+        }
+    }
+
+    /// Retransmission timer: resend if still unacked, rearm with doubled
+    /// delay, abandon past the cap.
+    fn retransmit(self: &Arc<Self>, link: LinkId, seq: u64, attempt: u32) {
+        let Some(rel) = self.rel.as_ref() else { return };
+        let envelope = match rel.lock().unacked(link, seq) {
+            Some(env) => env.clone(),
+            None => return, // acked in the meantime
+        };
+        if attempt >= self.max_retransmits {
+            rel.lock().abandon(link, seq);
+            self.stats.lock().link_mut().abandoned += 1;
+            return;
+        }
+        self.stats.lock().link_mut().retransmits += 1;
+        let next = attempt + 1;
+        let delay = Duration::from_nanos(backoff_nanos(
+            self.rto.as_nanos().min(u64::MAX as u128) as u64,
+            next,
+        ));
+        self.schedule(
+            Instant::now() + delay,
+            Work::Retransmit {
+                link,
+                seq,
+                attempt: next,
+            },
+        );
+        self.transmit(envelope);
     }
 }
 
@@ -373,6 +578,8 @@ impl SysApi for ThreadedCtx {
 pub struct ThreadedRuntimeBuilder {
     seed: u64,
     network: NetworkConfig,
+    faults: Option<FaultPlan>,
+    reliable: bool,
 }
 
 impl Default for ThreadedRuntimeBuilder {
@@ -380,6 +587,8 @@ impl Default for ThreadedRuntimeBuilder {
         ThreadedRuntimeBuilder {
             seed: 0,
             network: NetworkConfig::local(),
+            faults: None,
+            reliable: false,
         }
     }
 }
@@ -397,10 +606,45 @@ impl ThreadedRuntimeBuilder {
         self
     }
 
+    /// Injects faults per `plan` and enables the reliable-delivery
+    /// sublayer. Crash times are virtual times interpreted as wall-clock
+    /// offsets from runtime start; the fault *decisions* are seeded and
+    /// deterministic, though wall-clock scheduling means the affected
+    /// messages differ run to run. Keep the plan's
+    /// [`rto`](FaultPlan::rto) small here (it is waited in real time).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Forces the reliable-delivery sublayer on with a lossless wire.
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.reliable = on;
+        self
+    }
+
     /// Builds and starts the runtime (the dispatcher thread runs
     /// immediately; processes run as soon as they are spawned).
     pub fn build(self) -> ThreadedRuntime {
         let (tx, rx) = unbounded::<Scheduled>();
+        let reliable = self.reliable || self.faults.is_some();
+        let (rto, max_retransmits) = self
+            .faults
+            .as_ref()
+            .map(|p| (Duration::from(p.retransmit_timeout()), p.retransmit_cap()))
+            .unwrap_or_else(|| {
+                let d = FaultPlan::default();
+                (Duration::from(d.retransmit_timeout()), d.retransmit_cap())
+            });
+        let start = Instant::now();
+        let crashes: Vec<_> = self
+            .faults
+            .as_ref()
+            .map(|p| p.crashes().to_vec())
+            .unwrap_or_default();
+        let fault = self
+            .faults
+            .map(|plan| Mutex::new(plan.into_model(self.seed)));
         let inner = Arc::new(Inner {
             procs: Mutex::new(Vec::new()),
             to_dispatcher: tx,
@@ -410,9 +654,20 @@ impl ThreadedRuntimeBuilder {
             stats: Mutex::new(MessageStats::new()),
             panics: Mutex::new(Vec::new()),
             shutdown: AtomicBool::new(false),
-            start: Instant::now(),
+            start,
             seed: self.seed,
+            fault,
+            rel: reliable.then(|| Mutex::new(ReliableState::new())),
+            down: Mutex::new(BTreeMap::new()),
+            rto,
+            max_retransmits,
         });
+        for c in &crashes {
+            let at = start + Duration::from_nanos(c.at.as_nanos());
+            let up_at = at + Duration::from(c.down_for);
+            inner.schedule(at, Work::Crash { pid: c.pid, up_at });
+            inner.schedule(up_at, Work::Restart(c.pid));
+        }
         let dispatcher_inner = inner.clone();
         let dispatcher = std::thread::Builder::new()
             .name("hope-dispatcher".into())
@@ -447,7 +702,12 @@ fn dispatcher_main(inner: Arc<Inner>, rx: Receiver<Scheduled>) {
         match heap.peek() {
             Some(next) if next.due <= Instant::now() => {
                 let item = heap.pop().expect("peeked");
-                inner.deliver(item.envelope);
+                match item.work {
+                    Work::Deliver(envelope) => inner.deliver(envelope),
+                    Work::Retransmit { link, seq, attempt } => inner.retransmit(link, seq, attempt),
+                    Work::Crash { pid, up_at } => inner.crash(pid, up_at),
+                    Work::Restart(pid) => inner.restart(pid),
+                }
                 inner.in_flight.fetch_sub(1, Ordering::AcqRel);
             }
             Some(next) => {

@@ -158,7 +158,10 @@ impl ThreadCtx {
     fn spawn(&mut self, req: SpawnRequest) -> ProcessId {
         match self.yield_and_wait(YieldMsg::Spawn(req)) {
             Some(Resume::Spawned(pid)) => pid,
-            _ => panic!("hope-runtime shut down while process {} was spawning", self.pid),
+            _ => panic!(
+                "hope-runtime shut down while process {} was spawning",
+                self.pid
+            ),
         }
     }
 }

@@ -59,8 +59,17 @@ impl Trace {
             self.dropped += 1;
         }
         let (kind, detail) = match payload {
-            Payload::User(m) => ("User", format!("user/ch={} ({} bytes, tag {})", m.channel, m.data.len(), m.tag)),
+            Payload::User(m) => (
+                "User",
+                format!(
+                    "user/ch={} ({} bytes, tag {})",
+                    m.channel,
+                    m.data.len(),
+                    m.tag
+                ),
+            ),
             Payload::Hope(m) => (m.kind(), m.to_string()),
+            Payload::Ack { seq } => ("Ack", format!("ack/seq={seq}")),
         };
         self.events.push(TraceEvent {
             at,

@@ -47,10 +47,7 @@ fn interleaved_senders_preserve_each_links_order() {
     for s in 0..2u8 {
         rt.spawn_threaded(&format!("tx{s}"), None, move |ctx| {
             for i in 0..20u8 {
-                ctx.send(
-                    rx,
-                    Payload::User(UserMessage::new(0, Bytes::from(vec![i]))),
-                );
+                ctx.send(rx, Payload::User(UserMessage::new(0, Bytes::from(vec![i]))));
                 ctx.compute(VirtualDuration::from_micros(500));
             }
         });
@@ -60,7 +57,11 @@ fn interleaved_senders_preserve_each_links_order() {
     let seen = got.lock().unwrap().clone();
     // Per-sender subsequences must be monotone even though the streams
     // interleave.
-    for sender in seen.iter().map(|(s, _)| *s).collect::<std::collections::BTreeSet<_>>() {
+    for sender in seen
+        .iter()
+        .map(|(s, _)| *s)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
         let stream: Vec<u8> = seen
             .iter()
             .filter(|(s, _)| *s == sender)
@@ -153,7 +154,8 @@ fn fifty_process_storm_settles_deterministically() {
                 hope_types::ProcessId::from_raw(999),
                 pid,
                 Payload::User(UserMessage::new(0, Bytes::from(vec![20 + (i % 3) as u8]))),
-            );
+            )
+            .unwrap();
         }
         let report = rt.run();
         assert!(report.panics.is_empty());

@@ -5,8 +5,7 @@ use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use hope_runtime::{
-    Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ProcessStatus,
-    SimRuntime,
+    Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ProcessStatus, SimRuntime,
 };
 use hope_types::{
     Envelope, HopeMessage, IntervalId, Payload, ProcessId, UserMessage, VirtualDuration,
@@ -62,9 +61,7 @@ fn compute_advances_virtual_time_only() {
 fn sends_are_asynchronous_fire_and_forget() {
     // A sender must not advance time by sending: wait-freedom at the
     // substrate level.
-    let mut rt = SimRuntime::builder()
-        .network(NetworkConfig::wan())
-        .build();
+    let mut rt = SimRuntime::builder().network(NetworkConfig::wan()).build();
     let send_time = Arc::new(Mutex::new(None));
     let st = send_time.clone();
     let sink = rt.spawn_actor("sink", Box::new(hope_runtime::NullActor));
@@ -157,7 +154,10 @@ fn actor_echo_round_trip_takes_two_latencies() {
     });
     let report = rt.run();
     assert!(report.is_clean());
-    assert_eq!(rtt.lock().unwrap().unwrap(), VirtualDuration::from_millis(10));
+    assert_eq!(
+        rtt.lock().unwrap().unwrap(),
+        VirtualDuration::from_millis(10)
+    );
 }
 
 #[test]
@@ -173,12 +173,16 @@ fn process_can_spawn_actor_and_threaded_children() {
             None,
             Box::new(move |cctx: &mut dyn hope_runtime::SysApi| {
                 let m = cctx.receive(None, &mut || false).unwrap();
-                res2.lock().unwrap().push(format!("child got {:?}", m.msg.data));
+                res2.lock()
+                    .unwrap()
+                    .push(format!("child got {:?}", m.msg.data));
             }),
         );
         ctx.send(echo, user(b"e"));
         let back = ctx.receive(None, &mut || false).unwrap();
-        res.lock().unwrap().push(format!("parent got {:?}", back.msg.data));
+        res.lock()
+            .unwrap()
+            .push(format!("parent got {:?}", back.msg.data));
         ctx.send(grand, user(b"w"));
     });
     let report = rt.run();
@@ -197,10 +201,7 @@ struct RecordingControl {
 
 impl ControlHandler for RecordingControl {
     fn on_hope_message(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
-        self.log
-            .lock()
-            .unwrap()
-            .push(format!("from {src}: {msg}"));
+        self.log.lock().unwrap().push(format!("from {src}: {msg}"));
         if self.wake {
             api.wake();
         }
@@ -225,9 +226,15 @@ fn hope_messages_route_to_control_not_mailbox() {
     );
     rt.spawn_threaded("sender", None, move |ctx| {
         let iid = IntervalId::new(ctx.pid(), 0);
-        ctx.send(target, Payload::Hope(HopeMessage::Rollback { iid, cause: None }));
+        ctx.send(
+            target,
+            Payload::Hope(HopeMessage::Rollback { iid, cause: None }),
+        );
         ctx.compute(VirtualDuration::from_millis(1));
-        ctx.send(target, Payload::User(UserMessage::new(0, Bytes::from_static(b"real"))));
+        ctx.send(
+            target,
+            Payload::User(UserMessage::new(0, Bytes::from_static(b"real"))),
+        );
     });
     let report = rt.run();
     assert!(report.is_clean(), "panics: {:?}", report.panics);
@@ -245,7 +252,12 @@ fn control_wake_interrupts_blocked_receive() {
         flag: Arc<Mutex<bool>>,
     }
     impl ControlHandler for FlipControl {
-        fn on_hope_message(&mut self, _src: ProcessId, _msg: HopeMessage, api: &mut dyn ControlApi) {
+        fn on_hope_message(
+            &mut self,
+            _src: ProcessId,
+            _msg: HopeMessage,
+            api: &mut dyn ControlApi,
+        ) {
             *self.flag.lock().unwrap() = true;
             api.wake();
         }
@@ -263,7 +275,10 @@ fn control_wake_interrupts_blocked_receive() {
     );
     rt.spawn_threaded("sender", None, move |ctx| {
         let iid = IntervalId::new(ctx.pid(), 0);
-        ctx.send(target, Payload::Hope(HopeMessage::Rollback { iid, cause: None }));
+        ctx.send(
+            target,
+            Payload::Hope(HopeMessage::Rollback { iid, cause: None }),
+        );
     });
     let report = rt.run();
     assert!(report.is_clean(), "panics: {:?}", report.panics);
@@ -343,7 +358,10 @@ fn run_until_stops_at_deadline() {
     assert!(mid.now <= VirtualTime::from_nanos(35_000_000));
     let done = rt.run();
     assert!(done.is_clean());
-    assert_eq!(done.now, VirtualTime::ZERO + VirtualDuration::from_millis(200));
+    assert_eq!(
+        done.now,
+        VirtualTime::ZERO + VirtualDuration::from_millis(200)
+    );
 }
 
 #[test]
@@ -389,7 +407,7 @@ fn event_limit_stops_runaway_runs() {
     let echo = rt.spawn_actor("echo", Box::new(Echo));
     // Ping-pong forever between two echo actors.
     let echo2 = rt.spawn_actor("echo2", Box::new(Echo));
-    rt.inject(echo2, echo, user(b"ball"));
+    rt.inject(echo2, echo, user(b"ball")).unwrap();
     let report = rt.run();
     assert!(report.hit_event_limit);
     assert!(!report.is_clean());

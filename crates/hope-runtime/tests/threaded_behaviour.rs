@@ -5,10 +5,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use hope_runtime::{
-    Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ThreadedRuntime,
+use hope_runtime::{Actor, ActorApi, ControlApi, ControlHandler, NetworkConfig, ThreadedRuntime};
+use hope_types::{
+    Envelope, HopeMessage, IntervalId, Payload, ProcessId, UserMessage, VirtualDuration,
 };
-use hope_types::{Envelope, HopeMessage, IntervalId, Payload, ProcessId, UserMessage, VirtualDuration};
 
 const GRACE: Duration = Duration::from_millis(25);
 const TIMEOUT: Duration = Duration::from_secs(15);
@@ -43,8 +43,14 @@ fn latency_elapses_in_wall_time() {
     let report = rt.run_until_quiescent(GRACE, TIMEOUT);
     assert!(report.panics.is_empty());
     let elapsed = rtt.lock().unwrap().unwrap();
-    assert!(elapsed >= Duration::from_millis(30), "two 15 ms hops: {elapsed:?}");
-    assert!(elapsed < Duration::from_millis(300), "but not much more: {elapsed:?}");
+    assert!(
+        elapsed >= Duration::from_millis(30),
+        "two 15 ms hops: {elapsed:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "but not much more: {elapsed:?}"
+    );
 }
 
 #[test]

@@ -14,7 +14,7 @@
 use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
-use hope_core::HopeEnv;
+use hope_core::{HopeEnv, HopeReport};
 use hope_rpc::{RpcClient, RpcServer, StreamingClient};
 use hope_runtime::NetworkConfig;
 use hope_types::{VirtualDuration, VirtualTime};
@@ -22,7 +22,8 @@ use hope_types::{VirtualDuration, VirtualTime};
 /// The stage function every server applies: a cheap, deterministic mix so
 /// each call's argument genuinely depends on the previous reply.
 pub fn stage_fn(x: u64) -> u64 {
-    x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
 }
 
 /// Parameters of one chain run.
@@ -133,10 +134,18 @@ pub fn run_sequential(cfg: ChainConfig) -> ChainResult {
 /// Runs the chain with optimistic call streaming and an `accuracy`-grade
 /// predictor.
 pub fn run_streaming(cfg: ChainConfig) -> ChainResult {
-    let mut env = HopeEnv::builder()
+    let env = HopeEnv::builder()
         .seed(cfg.seed)
         .network(NetworkConfig::constant(cfg.latency))
         .build();
+    run_streaming_in(env, cfg).0
+}
+
+/// Runs the streaming chain in a caller-built environment, also handing
+/// back the full [`HopeReport`] (the chaos workload uses this to add
+/// fault injection and read the link-layer counters). Spawn order is
+/// part of the contract: the stage server first, then the client.
+pub fn run_streaming_in(mut env: HopeEnv, cfg: ChainConfig) -> (ChainResult, HopeReport) {
     let server = spawn_stage_server(&mut env, cfg.service);
     let out = Arc::new(Mutex::new((VirtualTime::ZERO, 0u64)));
     let o = out.clone();
@@ -152,13 +161,8 @@ pub fn run_streaming(cfg: ChainConfig) -> ChainResult {
             let correct = stage_fn(value);
             let coin = (ctx.random() as f64) / (u64::MAX as f64);
             let predicted = if coin < accuracy { correct } else { !correct };
-            let promise = StreamingClient::call(
-                ctx,
-                server,
-                0,
-                encode_u64(value),
-                encode_u64(predicted),
-            );
+            let promise =
+                StreamingClient::call(ctx, server, 0, encode_u64(value), encode_u64(predicted));
             let (reply, _was_predicted) = promise.redeem(ctx);
             value = decode_u64(&reply);
         }
@@ -169,12 +173,13 @@ pub fn run_streaming(cfg: ChainConfig) -> ChainResult {
     let report = env.run();
     assert!(report.is_clean(), "{:?}", report.run.panics);
     let (t, value) = *out.lock().unwrap();
-    ChainResult {
+    let result = ChainResult {
         client_time: t.saturating_duration_since(VirtualTime::ZERO),
         quiescent: report.run.now,
         value,
         rollbacks: report.hope.rollbacks,
-    }
+    };
+    (result, report)
 }
 
 /// Sweeps chain depth × predictor accuracy, reporting the RPC improvement

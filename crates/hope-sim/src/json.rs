@@ -1,0 +1,367 @@
+//! A deliberately tiny JSON writer/parser for result tables.
+//!
+//! The workspace builds offline with no third-party serializers, and the
+//! only JSON the experiments need is "array of flat objects with string
+//! values" (one object per table row). This module implements exactly
+//! that subset — plus enough parsing to round-trip its own output in
+//! tests — rather than a general JSON library.
+
+use std::fmt;
+
+/// A JSON value restricted to the shapes tables emit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`, also returned when indexing misses.
+    Null,
+    /// A string scalar.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup; returns [`Value::Null`] when absent or not an object.
+    pub fn get(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+
+    /// Element lookup; returns [`Value::Null`] when out of range or not
+    /// an array.
+    pub fn at(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, index: usize) -> &Value {
+        self.at(index)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    let pad = "  ".repeat(indent);
+    let inner_pad = "  ".repeat(indent + 1);
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                out.push_str(&inner_pad);
+                write_value(out, item, indent + 1);
+                if i + 1 < items.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push_str("{\n");
+            for (i, (k, v)) in fields.iter().enumerate() {
+                out.push_str(&inner_pad);
+                escape_into(out, k);
+                out.push_str(": ");
+                write_value(out, v, indent + 1);
+                if i + 1 < fields.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&pad);
+            out.push('}');
+        }
+    }
+}
+
+/// Pretty-prints `value` with two-space indentation.
+pub fn to_string_pretty(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    out
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&to_string_pretty(self))
+    }
+}
+
+/// Parse error: byte offset and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the problem.
+    pub at: usize,
+    /// What went wrong.
+    pub message: &'static str,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &'static str) -> ParseError {
+        ParseError {
+            at: self.at,
+            message,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.at), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8, message: &'static str) -> Result<(), ParseError> {
+        if self.bytes.get(self.at) == Some(&byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.error(message))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"', "expected string")?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.bytes.get(self.at) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.at + 1..self.at + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code).ok_or_else(|| self.error("bad code point"))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so slicing
+                    // on char boundaries is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.at) {
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'n') => {
+                if self.bytes[self.at..].starts_with(b"null") {
+                    self.at += 4;
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("expected null"))
+                }
+            }
+            Some(b'[') => {
+                self.at += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b']') {
+                    self.at += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b']') => {
+                            self.at += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(self.error("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.at += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.bytes.get(self.at) == Some(&b'}') {
+                    self.at += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':', "expected ':'")?;
+                    let value = self.parse_value()?;
+                    fields.push((key, value));
+                    self.skip_ws();
+                    match self.bytes.get(self.at) {
+                        Some(b',') => self.at += 1,
+                        Some(b'}') => {
+                            self.at += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(self.error("expected ',' or '}'")),
+                    }
+                }
+            }
+            _ => Err(self.error("expected value")),
+        }
+    }
+}
+
+/// Parses a JSON document in the subset this module emits.
+pub fn from_str(input: &str) -> Result<Value, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        at: 0,
+    };
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.at == parser.bytes.len() {
+        Ok(value)
+    } else {
+        Err(parser.error("trailing input"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_nested_structure() {
+        let value = Value::Array(vec![
+            Value::Object(vec![
+                ("plain".into(), Value::String("x".into())),
+                ("tricky".into(), Value::String("a\"b\\c\nd\te".into())),
+            ]),
+            Value::Array(vec![]),
+            Value::Object(vec![]),
+            Value::Null,
+        ]);
+        let text = to_string_pretty(&value);
+        assert_eq!(from_str(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn indexing_misses_return_null() {
+        let v = from_str(r#"[{"k": "x"}]"#).unwrap();
+        assert_eq!(v[0]["k"], "x");
+        assert_eq!(v[0]["missing"], Value::Null);
+        assert_eq!(v[5], Value::Null);
+        assert_eq!(v["not-an-object"], Value::Null);
+    }
+
+    #[test]
+    fn parse_errors_carry_position() {
+        assert!(from_str("").is_err());
+        assert!(from_str("[1]").is_err(), "numbers are outside the subset");
+        assert!(from_str(r#"{"k": "v""#).is_err());
+        let err = from_str(r#"["a" "b"]"#).unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let v = from_str(r#""Aé""#).unwrap();
+        assert_eq!(v, "Aé");
+        let raw = from_str(r#""Aé""#).unwrap();
+        assert_eq!(raw, "Aé");
+    }
+}

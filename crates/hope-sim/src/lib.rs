@@ -16,11 +16,14 @@
 //! | [`replication`] | E8   | optimistic replication conflict churn (\[5\]) |
 //! | [`soak`]       | E9    | mixed load: latency percentiles under rollback pressure |
 //! | [`protocol`]   | T1    | Table 1 message accounting |
+//! | [`chaos`]      | E-chaos | fault injection: safety invariants under drop/dup/crash |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod chaos;
+pub mod json;
 pub mod printer;
 pub mod protocol;
 pub mod quadratic;

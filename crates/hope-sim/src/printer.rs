@@ -100,7 +100,11 @@ fn spawn_print_server(
     cfg: PrinterConfig,
     final_line: Arc<Mutex<u32>>,
 ) -> hope_types::ProcessId {
-    let init_line = if cfg.hit_boundary { cfg.page_size - 1 } else { 0 };
+    let init_line = if cfg.hit_boundary {
+        cfg.page_size - 1
+    } else {
+        0
+    };
     let service = cfg.service;
     env.spawn_user("print-server", move |ctx| {
         let mut line = init_line;
@@ -146,7 +150,11 @@ pub fn run_sequential(cfg: PrinterConfig) -> PrinterResult {
         }
     });
     let report = env.run();
-    assert!(report.is_clean(), "printer run failed: {:?}", report.run.panics);
+    assert!(
+        report.is_clean(),
+        "printer run failed: {:?}",
+        report.run.panics
+    );
     let worker_time = worker_done
         .lock()
         .unwrap()
@@ -181,7 +189,11 @@ pub fn run_streaming(cfg: PrinterConfig) -> PrinterResult {
         }
     });
     let report = env.run();
-    assert!(report.is_clean(), "printer run failed: {:?}", report.run.panics);
+    assert!(
+        report.is_clean(),
+        "printer run failed: {:?}",
+        report.run.panics
+    );
     let worker_time = worker_done
         .lock()
         .unwrap()
@@ -386,12 +398,7 @@ mod tests {
 
     #[test]
     fn sweep_produces_full_grid() {
-        let t = sweep(
-            &[VirtualDuration::from_millis(1)],
-            &[0.0, 1.0],
-            2,
-            7,
-        );
+        let t = sweep(&[VirtualDuration::from_millis(1)], &[0.0, 1.0], 2, 7);
         assert_eq!(t.rows.len(), 2);
         let text = t.to_string();
         assert!(text.contains("speedup"));

@@ -86,7 +86,13 @@ pub fn measure(depth: u32, seed: u64) -> QuadraticResult {
 pub fn sweep(depths: &[u32], seed: u64) -> crate::table::Table {
     let mut table = crate::table::Table::new(
         "E5: dependency-tracking cost vs. speculation depth (quadratic, §6)",
-        &["depth N", "Guess msgs", "Replace msgs", "total HOPE msgs", "msgs/N"],
+        &[
+            "depth N",
+            "Guess msgs",
+            "Replace msgs",
+            "total HOPE msgs",
+            "msgs/N",
+        ],
     );
     for &depth in depths {
         let r = measure(depth, seed);

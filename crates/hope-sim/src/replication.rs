@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 use bytes::{BufMut, Bytes, BytesMut};
-use hope_core::HopeEnv;
+use hope_core::{HopeEnv, HopeReport};
 use hope_runtime::NetworkConfig;
 use hope_types::{AidId, ProcessId, VirtualDuration, VirtualTime};
 
@@ -66,10 +66,19 @@ fn decode_u64s(data: &[u8]) -> Vec<u64> {
 
 /// Runs `replicas` racing single-update replicas against one owner.
 pub fn run(cfg: ReplicationConfig) -> ReplicationResult {
-    let mut env = HopeEnv::builder()
+    let env = HopeEnv::builder()
         .seed(cfg.seed)
         .network(NetworkConfig::constant(cfg.latency))
         .build();
+    run_in(env, cfg).0
+}
+
+/// Runs the same scenario in a caller-built environment, also handing
+/// back the full [`HopeReport`]. The chaos workload uses this to add
+/// fault injection and read the link-layer counters; spawn order (owner
+/// first, then `replica-0..n`) is part of the contract so crash points
+/// can be aimed by pid.
+pub fn run_in(mut env: HopeEnv, cfg: ReplicationConfig) -> (ReplicationResult, HopeReport) {
     let total = cfg.replicas;
     let owner_final = Arc::new(Mutex::new((0u64, 0u64)));
     let of = owner_final.clone();
@@ -146,13 +155,14 @@ pub fn run(cfg: ReplicationConfig) -> ReplicationResult {
         .copied()
         .max()
         .unwrap_or(VirtualTime::ZERO);
-    ReplicationResult {
+    let result = ReplicationResult {
         value,
         version,
         optimistic_done,
         committed: report.run.now,
         rollbacks: report.hope.rollbacks,
-    }
+    };
+    (result, report)
 }
 
 /// Sweeps replica count (conflict pressure) and tabulates churn.

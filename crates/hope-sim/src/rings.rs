@@ -109,7 +109,10 @@ pub fn sweep(sizes: &[u32], seed: u64) -> crate::table::Table {
             format!("{n}"),
             format!("{}", alg2.converged),
             format!("{}", alg2.hope_messages),
-            format!("{}", VirtualDuration::from_nanos(alg2.finished_at.as_nanos())),
+            format!(
+                "{}",
+                VirtualDuration::from_nanos(alg2.finished_at.as_nanos())
+            ),
             format!("{}", alg2.cycles_broken),
             format!("{}", alg1.converged),
             format!("{}", alg1.hope_messages),

@@ -14,8 +14,8 @@
 //! K·(C + 2L); the speedup approaches (C + 2L)/C and the waste is bounded
 //! by ≈ 2L/C rolled-back iterations per worker.
 
-use std::sync::{Arc, Mutex};
 use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
 
 use bytes::{BufMut, Bytes, BytesMut};
 use hope_core::HopeEnv;
@@ -100,11 +100,7 @@ pub fn run_solver(cfg: SolverConfig, optimistic: bool) -> SolverResult {
                 }
             } else {
                 // Synchronous protocol: reply with the verdict.
-                ctx.send(
-                    msg.src,
-                    CH_VERDICT,
-                    Bytes::from(vec![u8::from(converged)]),
-                );
+                ctx.send(msg.src, CH_VERDICT, Bytes::from(vec![u8::from(converged)]));
                 if converged {
                     finished += 1;
                 }

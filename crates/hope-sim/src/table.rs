@@ -1,6 +1,6 @@
 //! Paper-style result tables: fixed-width text plus machine-readable JSON.
 
-use serde::Serialize;
+use crate::json;
 use std::fmt;
 
 /// A printable results table. Cells are strings; numeric formatting is the
@@ -16,7 +16,7 @@ use std::fmt;
 /// assert!(text.contains("Demo"));
 /// assert!(text.contains("2.0ms"));
 /// ```
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table caption (e.g. "Figure 2: call streaming, L=10ms").
     pub title: String,
@@ -53,20 +53,20 @@ impl Table {
 
     /// The table as a JSON array of objects keyed by header.
     pub fn to_json(&self) -> String {
-        let objects: Vec<serde_json::Value> = self
+        let objects: Vec<json::Value> = self
             .rows
             .iter()
             .map(|row| {
-                let map: serde_json::Map<String, serde_json::Value> = self
-                    .headers
-                    .iter()
-                    .zip(row)
-                    .map(|(h, c)| (h.clone(), serde_json::Value::String(c.clone())))
-                    .collect();
-                serde_json::Value::Object(map)
+                json::Value::Object(
+                    self.headers
+                        .iter()
+                        .zip(row)
+                        .map(|(h, c)| (h.clone(), json::Value::String(c.clone())))
+                        .collect(),
+                )
             })
             .collect();
-        serde_json::to_string_pretty(&objects).expect("tables are always serializable")
+        json::to_string_pretty(&json::Value::Array(objects))
     }
 }
 
@@ -154,7 +154,7 @@ mod tests {
         let mut t = Table::new("T", &["k", "v"]);
         t.row(&["x", "1"]);
         let json = t.to_json();
-        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let parsed = crate::json::from_str(&json).unwrap();
         assert_eq!(parsed[0]["k"], "x");
         assert_eq!(parsed[0]["v"], "1");
     }

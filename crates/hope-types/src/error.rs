@@ -52,11 +52,16 @@ impl fmt::Display for HopeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HopeError::FinalAid(aid) => {
-                write!(f, "assumption {aid} is already final; only one affirm or deny may be applied")
+                write!(
+                    f,
+                    "assumption {aid} is already final; only one affirm or deny may be applied"
+                )
             }
             HopeError::UnknownProcess(pid) => write!(f, "unknown process {pid}"),
             HopeError::UnknownInterval(iid) => write!(f, "interval {iid} is not in the history"),
-            HopeError::RuntimeStopped => write!(f, "runtime stopped before the operation completed"),
+            HopeError::RuntimeStopped => {
+                write!(f, "runtime stopped before the operation completed")
+            }
             HopeError::ProcessPanicked(pid, msg) => {
                 write!(f, "process {pid} panicked: {msg}")
             }

@@ -1,6 +1,5 @@
 //! Identifiers for processes, assumption identifiers and intervals.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of a process (actor) registered with a HOPE runtime.
@@ -18,7 +17,7 @@ use std::fmt;
 /// assert_eq!(p.as_raw(), 3);
 /// assert_eq!(p.to_string(), "P3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(u64);
 
 impl ProcessId {
@@ -53,7 +52,7 @@ impl fmt::Display for ProcessId {
 /// let aid = AidId::from_raw(ProcessId::from_raw(12));
 /// assert_eq!(aid.process(), ProcessId::from_raw(12));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AidId(ProcessId);
 
 impl AidId {
@@ -97,7 +96,7 @@ impl From<AidId> for ProcessId {
 /// assert!(a < b);
 /// assert_eq!(b.index(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IntervalId {
     process: ProcessId,
     index: u32,

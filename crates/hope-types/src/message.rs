@@ -1,8 +1,7 @@
 //! Message formats: the HOPE protocol messages of the paper's Table 1,
 //! tagged user messages, and the runtime envelope that carries both.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::fmt;
 
 use crate::{AidId, IdoSet, IntervalId, ProcessId, VirtualTime};
@@ -34,7 +33,7 @@ pub type DepTag = IdoSet;
 /// assert_eq!(m.interval(), iid);
 /// assert_eq!(m.kind(), "Guess");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum HopeMessage {
     /// `<Guess, iid>` — the interval `iid` guesses that the destination AID
     /// is true and asks to be notified of its terminal state.
@@ -121,6 +120,167 @@ impl HopeMessage {
     }
 }
 
+/// Wire-format tags for [`HopeMessage::encode`].
+mod wire {
+    pub const GUESS: u8 = 1;
+    pub const AFFIRM: u8 = 2;
+    pub const DENY: u8 = 3;
+    pub const REPLACE: u8 = 4;
+    pub const RETAIN: u8 = 5;
+    pub const RELEASE: u8 = 6;
+    pub const ROLLBACK: u8 = 7;
+}
+
+/// Reads one little-endian `u64`, advancing the cursor.
+fn read_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*at..*at + 8)?;
+    *at += 8;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
+/// Reads one little-endian `u32`, advancing the cursor.
+fn read_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn read_u8(buf: &[u8], at: &mut usize) -> Option<u8> {
+    let b = *buf.get(*at)?;
+    *at += 1;
+    Some(b)
+}
+
+fn put_iid(buf: &mut BytesMut, iid: IntervalId) {
+    buf.put_u64_le(iid.process().as_raw());
+    buf.put_u32_le(iid.index());
+}
+
+fn read_iid(buf: &[u8], at: &mut usize) -> Option<IntervalId> {
+    let process = ProcessId::from_raw(read_u64(buf, at)?);
+    let index = read_u32(buf, at)?;
+    Some(IntervalId::new(process, index))
+}
+
+fn put_opt_iid(buf: &mut BytesMut, iid: Option<IntervalId>) {
+    match iid {
+        Some(i) => {
+            buf.put_u8(1);
+            put_iid(buf, i);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn read_opt_iid(buf: &[u8], at: &mut usize) -> Option<Option<IntervalId>> {
+    match read_u8(buf, at)? {
+        0 => Some(None),
+        1 => Some(Some(read_iid(buf, at)?)),
+        _ => None,
+    }
+}
+
+fn put_ido(buf: &mut BytesMut, ido: &IdoSet) {
+    buf.put_u32_le(ido.len() as u32);
+    for aid in ido.iter() {
+        buf.put_u64_le(aid.process().as_raw());
+    }
+}
+
+fn read_ido(buf: &[u8], at: &mut usize) -> Option<IdoSet> {
+    let n = read_u32(buf, at)?;
+    let mut ido = IdoSet::new();
+    for _ in 0..n {
+        ido.insert(AidId::from_raw(ProcessId::from_raw(read_u64(buf, at)?)));
+    }
+    Some(ido)
+}
+
+impl HopeMessage {
+    /// Serializes this message into a compact little-endian wire form.
+    /// Used by the reliable-delivery layer's tests and by external
+    /// transports; in-memory runtimes pass messages by value.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        match self {
+            HopeMessage::Guess { iid } => {
+                buf.put_u8(wire::GUESS);
+                put_iid(&mut buf, *iid);
+            }
+            HopeMessage::Affirm { iid, ido } => {
+                buf.put_u8(wire::AFFIRM);
+                put_opt_iid(&mut buf, *iid);
+                put_ido(&mut buf, ido);
+            }
+            HopeMessage::Deny { iid } => {
+                buf.put_u8(wire::DENY);
+                put_opt_iid(&mut buf, *iid);
+            }
+            HopeMessage::Replace { iid, ido } => {
+                buf.put_u8(wire::REPLACE);
+                put_iid(&mut buf, *iid);
+                put_ido(&mut buf, ido);
+            }
+            HopeMessage::Retain => buf.put_u8(wire::RETAIN),
+            HopeMessage::Release => buf.put_u8(wire::RELEASE),
+            HopeMessage::Rollback { iid, cause } => {
+                buf.put_u8(wire::ROLLBACK);
+                put_iid(&mut buf, *iid);
+                match cause {
+                    Some(c) => {
+                        buf.put_u8(1);
+                        buf.put_u64_le(c.process().as_raw());
+                    }
+                    None => buf.put_u8(0),
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Parses a message produced by [`HopeMessage::encode`]. Returns
+    /// `None` on truncated or malformed input (trailing bytes are also
+    /// rejected — a reliable link never legitimately pads frames).
+    pub fn decode(buf: &[u8]) -> Option<HopeMessage> {
+        let mut at = 0usize;
+        let msg = match read_u8(buf, &mut at)? {
+            wire::GUESS => HopeMessage::Guess {
+                iid: read_iid(buf, &mut at)?,
+            },
+            wire::AFFIRM => HopeMessage::Affirm {
+                iid: read_opt_iid(buf, &mut at)?,
+                ido: read_ido(buf, &mut at)?,
+            },
+            wire::DENY => HopeMessage::Deny {
+                iid: read_opt_iid(buf, &mut at)?,
+            },
+            wire::REPLACE => HopeMessage::Replace {
+                iid: read_iid(buf, &mut at)?,
+                ido: read_ido(buf, &mut at)?,
+            },
+            wire::RETAIN => HopeMessage::Retain,
+            wire::RELEASE => HopeMessage::Release,
+            wire::ROLLBACK => {
+                let iid = read_iid(buf, &mut at)?;
+                let cause = match read_u8(buf, &mut at)? {
+                    0 => None,
+                    1 => Some(AidId::from_raw(ProcessId::from_raw(read_u64(
+                        buf, &mut at,
+                    )?))),
+                    _ => return None,
+                };
+                HopeMessage::Rollback { iid, cause }
+            }
+            _ => return None,
+        };
+        if at == buf.len() {
+            Some(msg)
+        } else {
+            None
+        }
+    }
+}
+
 impl fmt::Display for HopeMessage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -132,7 +292,10 @@ impl fmt::Display for HopeMessage {
             HopeMessage::Replace { iid, ido } => write!(f, "<Replace, {iid}, {ido}>"),
             HopeMessage::Retain => write!(f, "<Retain>"),
             HopeMessage::Release => write!(f, "<Release>"),
-            HopeMessage::Rollback { iid, cause: Some(c) } => {
+            HopeMessage::Rollback {
+                iid,
+                cause: Some(c),
+            } => {
                 write!(f, "<Rollback, {iid}, cause={c}>")
             }
             HopeMessage::Rollback { iid, cause: None } => write!(f, "<Rollback, {iid}>"),
@@ -192,6 +355,14 @@ pub enum Payload {
     User(UserMessage),
     /// A HOPE protocol message for the HOPElib / AID state machine.
     Hope(HopeMessage),
+    /// A link-layer acknowledgement for the reliable-delivery sublayer:
+    /// confirms receipt of the envelope carrying sequence number `seq`
+    /// on the acknowledging link. Consumed by the runtime's link state,
+    /// never delivered to a process.
+    Ack {
+        /// The acknowledged per-link sequence number.
+        seq: u64,
+    },
 }
 
 impl Payload {
@@ -317,13 +488,55 @@ mod tests {
     }
 
     #[test]
-    fn hope_message_serde_roundtrip() {
-        let m = HopeMessage::Replace {
-            iid: iid(4, 9),
-            ido: [aid(1), aid(2)].into_iter().collect(),
-        };
-        let json = serde_json::to_string(&m).unwrap();
-        let back: HopeMessage = serde_json::from_str(&json).unwrap();
-        assert_eq!(m, back);
+    fn hope_message_wire_roundtrip() {
+        let samples = [
+            HopeMessage::Guess { iid: iid(1, 0) },
+            HopeMessage::Affirm {
+                iid: Some(iid(4, 9)),
+                ido: [aid(1), aid(2)].into_iter().collect(),
+            },
+            HopeMessage::Affirm {
+                iid: None,
+                ido: IdoSet::new(),
+            },
+            HopeMessage::Deny {
+                iid: Some(iid(7, 3)),
+            },
+            HopeMessage::Deny { iid: None },
+            HopeMessage::Replace {
+                iid: iid(4, 9),
+                ido: [aid(1), aid(2), aid(3)].into_iter().collect(),
+            },
+            HopeMessage::Retain,
+            HopeMessage::Release,
+            HopeMessage::Rollback {
+                iid: iid(2, 1),
+                cause: Some(aid(8)),
+            },
+            HopeMessage::Rollback {
+                iid: iid(2, 1),
+                cause: None,
+            },
+        ];
+        for m in samples {
+            let encoded = m.encode();
+            let back = HopeMessage::decode(&encoded).expect("well-formed frame decodes");
+            assert_eq!(m, back, "round trip of {m}");
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_malformed_frames() {
+        assert_eq!(HopeMessage::decode(&[]), None, "empty frame");
+        assert_eq!(HopeMessage::decode(&[0xff]), None, "unknown tag");
+        let good = HopeMessage::Guess { iid: iid(1, 2) }.encode();
+        assert_eq!(
+            HopeMessage::decode(&good[..good.len() - 1]),
+            None,
+            "truncated"
+        );
+        let mut padded = good.to_vec();
+        padded.push(0);
+        assert_eq!(HopeMessage::decode(&padded), None, "trailing bytes");
     }
 }

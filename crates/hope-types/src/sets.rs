@@ -7,7 +7,6 @@
 //! small, so they are represented as sorted vectors ([`IdSet`]), which keeps
 //! iteration order deterministic — essential for the reproducible simulator.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 use crate::{AidId, IntervalId};
@@ -30,7 +29,7 @@ use crate::{AidId, IntervalId};
 /// assert!(s.remove(&1));
 /// assert!(!s.contains(&1));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct IdSet<T> {
     items: Vec<T>,
 }

@@ -7,7 +7,6 @@
 //! compute steps advance it, everything else is free. Wall-clock runtimes
 //! map these types onto [`std::time::Duration`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 use std::time::Duration;
@@ -21,9 +20,7 @@ use std::time::Duration;
 /// let t = VirtualTime::ZERO + VirtualDuration::from_millis(30);
 /// assert_eq!(t.as_nanos(), 30_000_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualTime(u64);
 
 /// A span of virtual time, in nanoseconds.
@@ -35,9 +32,7 @@ pub struct VirtualTime(u64);
 /// let d = VirtualDuration::from_micros(100) * 3;
 /// assert_eq!(d.as_nanos(), 300_000);
 /// ```
-#[derive(
-    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VirtualDuration(u64);
 
 impl VirtualTime {

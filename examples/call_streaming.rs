@@ -25,8 +25,14 @@ fn main() {
     let seq = run_sequential(base);
     let stream = run_streaming(base);
     println!("common case (assumption holds):");
-    println!("  Figure 1 (sequential):   worker done at {}", seq.worker_time);
-    println!("  Figure 2 (streaming):    worker done at {}", stream.worker_time);
+    println!(
+        "  Figure 1 (sequential):   worker done at {}",
+        seq.worker_time
+    );
+    println!(
+        "  Figure 2 (streaming):    worker done at {}",
+        stream.worker_time
+    );
     println!(
         "  speedup: {:.2}x   rollbacks: {}\n",
         seq.worker_time.as_millis_f64() / stream.worker_time.as_millis_f64(),
@@ -43,8 +49,14 @@ fn main() {
     let seq_hit = run_sequential(hit);
     let stream_hit = run_streaming(hit);
     println!("boundary case (assumption fails — rollback + newpage):");
-    println!("  Figure 1 (sequential):   worker done at {}", seq_hit.worker_time);
-    println!("  Figure 2 (streaming):    worker done at {}", stream_hit.worker_time);
+    println!(
+        "  Figure 1 (sequential):   worker done at {}",
+        seq_hit.worker_time
+    );
+    println!(
+        "  Figure 2 (streaming):    worker done at {}",
+        stream_hit.worker_time
+    );
     println!(
         "  rollbacks: {}   final line (both): {}\n",
         stream_hit.rollbacks, stream_hit.final_line

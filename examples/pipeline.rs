@@ -107,7 +107,10 @@ fn main() {
     println!("collected (doubled, valid only): {got:?}");
     println!("rollbacks along the way: {}", report.hope.rollbacks);
     assert_eq!(got, want, "exactly the valid records survive");
-    assert!(report.hope.rollbacks >= 2, "the bad records were speculated on");
+    assert!(
+        report.hope.rollbacks >= 2,
+        "the bad records were speculated on"
+    );
     println!("\nEvery stage ran at full speed; the validator's denials unwound");
     println!("the bad records from the whole pipeline automatically.");
 }

@@ -47,18 +47,20 @@ fn main() {
             Bytes::from(x.process().as_raw().to_le_bytes().to_vec()),
         );
         if ctx.guess(x) {
-            glog.lock()
-                .unwrap()
-                .push(format!("[{}] guesser: optimistic path (speculative)", ctx.now()));
+            glog.lock().unwrap().push(format!(
+                "[{}] guesser: optimistic path (speculative)",
+                ctx.now()
+            ));
             // Plenty of useful work happens here while the verifier works…
             ctx.compute(VirtualDuration::from_millis(50));
             glog.lock()
                 .unwrap()
                 .push(format!("[{}] guesser: finished optimistic work", ctx.now()));
         } else {
-            glog.lock()
-                .unwrap()
-                .push(format!("[{}] guesser: pessimistic path (after rollback)", ctx.now()));
+            glog.lock().unwrap().push(format!(
+                "[{}] guesser: pessimistic path (after rollback)",
+                ctx.now()
+            ));
         }
     });
 

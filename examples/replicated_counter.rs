@@ -167,6 +167,9 @@ fn main() {
         audited == vec![10, 42] || audited == vec![32, 42],
         "audited values must reflect a serial order: {audited:?}"
     );
-    println!("\nrollbacks: {} (the losing replica and its auditor)", report.hope.rollbacks);
+    println!(
+        "\nrollbacks: {} (the losing replica and its auditor)",
+        report.hope.rollbacks
+    );
     assert!(report.hope.rollbacks >= 1);
 }

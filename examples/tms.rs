@@ -47,7 +47,11 @@ fn main() {
                 b.lock().unwrap().push("believe: tweety flies".into());
                 b.lock().unwrap().push("derive: build a high perch".into());
             }
-            ctx.send(planner, 0, Bytes::from_static(b"plan: install perch on the ceiling"));
+            ctx.send(
+                planner,
+                0,
+                Bytes::from_static(b"plan: install perch on the ceiling"),
+            );
         } else {
             if !ctx.is_replaying() {
                 b.lock().unwrap().push("withdraw: tweety flies".into());

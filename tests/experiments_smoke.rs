@@ -12,9 +12,11 @@ fn f1_f2_streaming_speedup_and_crossover() {
     };
     let seq_miss = sim::printer::run_sequential(base);
     let stream_miss = sim::printer::run_streaming(base);
-    let speedup =
-        seq_miss.worker_time.as_millis_f64() / stream_miss.worker_time.as_millis_f64();
-    assert!(speedup > 1.8, "≈2x when the assumption holds: got {speedup:.2}x");
+    let speedup = seq_miss.worker_time.as_millis_f64() / stream_miss.worker_time.as_millis_f64();
+    assert!(
+        speedup > 1.8,
+        "≈2x when the assumption holds: got {speedup:.2}x"
+    );
 
     let hit = sim::printer::PrinterConfig {
         hit_boundary: true,
