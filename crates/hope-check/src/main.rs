@@ -1,0 +1,337 @@
+//! `hope-check` — drive the model checker from the command line.
+//!
+//! ```text
+//! hope-check ci                         # the fixed-budget CI suite
+//! hope-check explore ring2             # bounded exhaustive DFS
+//! hope-check explore ring2-alg1       # expect the §5.3 livelock
+//! hope-check walk chaos2 --schedules 200 --seed 7
+//! hope-check replay ring2 --decisions 2,0,1
+//! hope-check shrink-demo              # break an oracle, shrink the trace
+//! ```
+//!
+//! Scenarios: `ring2`, `ring3` (Algorithm 2 mutual-affirm rings),
+//! `ring2-alg1`, `ring3-alg1` (Algorithm 1, livelocks), `chaos2`,
+//! `chaos3` (Algorithm 2 plus a crash/restart of ring process 0 and the
+//! reliable-delivery sublayer). Everything is deterministic given the
+//! flags; all run within a small fixed budget (see EXPERIMENTS.md E-check).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hope_check::{
+    dfs, random_walk, shrink, ConvergenceOracle, CrashRecoveryOracle, DemoOrderOracle, DfsConfig,
+    Oracle, SafetyOracle, WaitFreedomOracle, WalkConfig,
+};
+use hope_core::HopeEnv;
+use hope_sim::scenarios;
+
+struct Scenario {
+    name: &'static str,
+    build: Box<dyn Fn() -> HopeEnv>,
+    /// Algorithm 1 scenarios are *expected* to livelock.
+    expect_livelock: bool,
+    /// Convergence is only promised when no message can be lost for good.
+    lossless: bool,
+    has_crashes: bool,
+}
+
+fn scenario(name: &str, seed: u64) -> Option<Scenario> {
+    let (n, alg1, chaos) = match name {
+        "ring2" => (2, false, false),
+        "ring3" => (3, false, false),
+        "ring2-alg1" => (2, true, false),
+        "ring3-alg1" => (3, true, false),
+        "chaos2" => (2, false, true),
+        "chaos3" => (3, false, true),
+        _ => return None,
+    };
+    let build: Box<dyn Fn() -> HopeEnv> = if chaos {
+        Box::new(move || scenarios::chaos_ring(n, seed))
+    } else {
+        Box::new(move || scenarios::ring(n, !alg1, seed))
+    };
+    Some(Scenario {
+        name: match name {
+            "ring2" => "ring2",
+            "ring3" => "ring3",
+            "ring2-alg1" => "ring2-alg1",
+            "ring3-alg1" => "ring3-alg1",
+            "chaos2" => "chaos2",
+            _ => "chaos3",
+        },
+        build,
+        expect_livelock: alg1,
+        lossless: !chaos,
+        has_crashes: chaos,
+    })
+}
+
+fn oracles_for(s: &Scenario, max_steps: u64) -> Vec<Box<dyn Oracle>> {
+    let mut set: Vec<Box<dyn Oracle>> = vec![Box::new(SafetyOracle)];
+    if s.lossless && !s.expect_livelock {
+        set.push(Box::new(ConvergenceOracle));
+        set.push(Box::new(WaitFreedomOracle { max_steps }));
+    }
+    if s.has_crashes {
+        set.push(Box::new(CrashRecoveryOracle::default()));
+    }
+    set
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn num(args: &[String], name: &str, default: u64) -> u64 {
+    flag(args, name)
+        .map(|v| v.parse().unwrap_or_else(|_| panic!("bad {name}: {v}")))
+        .unwrap_or(default)
+}
+
+fn fmt_decisions(d: &[u32]) -> String {
+    let parts: Vec<String> = d.iter().map(|x| x.to_string()).collect();
+    parts.join(",")
+}
+
+fn cmd_explore(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("explore needs a scenario")?;
+    let seed = num(args, "--seed", 1);
+    let s = scenario(name, seed).ok_or_else(|| format!("unknown scenario {name}"))?;
+    let cfg = DfsConfig {
+        max_states: num(args, "--max-states", 200_000) as usize,
+        max_schedule_steps: num(args, "--max-steps", 2_000),
+        sleep_sets: !args.iter().any(|a| a == "--no-sleep"),
+    };
+    let mut oracles = oracles_for(&s, cfg.max_schedule_steps);
+    let start = Instant::now();
+    let report = dfs(&|| (s.build)(), &mut oracles, &cfg);
+    println!(
+        "explore {}: {} branch states, {} terminal states, {} replays, {} steps, {:.2?}",
+        s.name,
+        report.branch_states,
+        report.terminals,
+        report.replays,
+        report.total_steps,
+        start.elapsed()
+    );
+    if report.truncated {
+        println!("  (budget hit: exploration truncated)");
+    }
+    if let Some(cx) = &report.violation {
+        return Err(format!(
+            "violation: {}\n  replay with: hope-check replay {} --seed {} --decisions {}",
+            cx.violation,
+            s.name,
+            seed,
+            fmt_decisions(&cx.decisions)
+        ));
+    }
+    match (report.found_cycle, s.expect_livelock) {
+        (true, true) => {
+            let witness = report.cycle_witness.clone().unwrap_or_default();
+            println!(
+                "  livelock cycle found (expected for Algorithm 1); witness decisions: [{}]",
+                fmt_decisions(&witness)
+            );
+            Ok(())
+        }
+        (false, true) => Err("expected the Algorithm 1 livelock, found none".into()),
+        (true, false) => Err(format!(
+            "unexpected livelock; witness decisions: [{}]",
+            fmt_decisions(&report.cycle_witness.clone().unwrap_or_default())
+        )),
+        (false, false) => Ok(()),
+    }
+}
+
+fn cmd_walk(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("walk needs a scenario")?;
+    let seed = num(args, "--seed", 1);
+    let s = scenario(name, seed).ok_or_else(|| format!("unknown scenario {name}"))?;
+    let cfg = WalkConfig {
+        schedules: num(args, "--schedules", 100),
+        max_schedule_steps: num(args, "--max-steps", 10_000),
+        seed: num(args, "--walk-seed", seed),
+    };
+    let mut oracles = oracles_for(&s, cfg.max_schedule_steps);
+    let start = Instant::now();
+    let report = random_walk(&|| (s.build)(), &mut oracles, &cfg);
+    println!(
+        "walk {}: {} schedules ({} terminal, {} abandoned), {} steps, {} distinct terminal states, {:.2?}",
+        s.name,
+        report.schedules,
+        report.terminal_runs,
+        report.abandoned,
+        report.total_steps,
+        report.distinct_terminals,
+        start.elapsed()
+    );
+    if let Some(cx) = &report.violation {
+        return Err(format!(
+            "violation: {}\n  replay with: hope-check replay {} --seed {} --decisions {}",
+            cx.violation,
+            s.name,
+            seed,
+            fmt_decisions(&cx.decisions)
+        ));
+    }
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("replay needs a scenario")?;
+    let seed = num(args, "--seed", 1);
+    let s = scenario(name, seed).ok_or_else(|| format!("unknown scenario {name}"))?;
+    let decisions: Vec<u32> = flag(args, "--decisions")
+        .map(|v| {
+            v.split(',')
+                .filter(|p| !p.is_empty())
+                .map(|p| p.parse().unwrap_or_else(|_| panic!("bad decision {p}")))
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut oracles = oracles_for(&s, u64::MAX);
+    // Counterexamples found by shrink-demo fire the deliberately broken
+    // ordering oracle; opt into it to reproduce them.
+    if args.iter().any(|a| a == "--demo-oracle") {
+        oracles.push(Box::new(DemoOrderOracle));
+    }
+    let out = hope_check::explore::replay(
+        &|| (s.build)(),
+        &decisions,
+        &mut oracles,
+        num(args, "--max-steps", 10_000),
+        true,
+    );
+    println!(
+        "replay {} decisions=[{}]: {} steps, end = {:?}",
+        s.name,
+        fmt_decisions(&decisions),
+        out.steps,
+        match &out.end {
+            hope_check::explore::ReplayEnd::Violated(v) => format!("VIOLATED {v}"),
+            other => format!("{other:?}"),
+        }
+    );
+    Ok(())
+}
+
+/// Breaks an (intentionally bogus) ordering oracle on the 2-ring, then
+/// shrinks the violating schedule — the end-to-end demo of the
+/// counterexample pipeline. Prints the minimal replayable seed + decisions.
+fn cmd_shrink_demo(args: &[String]) -> Result<(), String> {
+    let seed = num(args, "--seed", 42);
+    let build_env = || scenarios::ring(2, true, seed);
+    let build: &dyn Fn() -> HopeEnv = &build_env;
+    let mut oracles: Vec<Box<dyn Oracle>> = vec![Box::new(DemoOrderOracle)];
+    let walk = random_walk(
+        &build,
+        &mut oracles,
+        &WalkConfig {
+            schedules: 200,
+            max_schedule_steps: 2_000,
+            seed,
+        },
+    );
+    let Some(cx) = walk.violation else {
+        return Err("demo oracle never fired — the walk should find an order violation".into());
+    };
+    println!(
+        "violation after {} steps: {}\n  original decisions ({}): [{}]",
+        walk.total_steps,
+        cx.violation,
+        cx.decisions.len(),
+        fmt_decisions(&cx.decisions)
+    );
+    let report = shrink(&build, &mut oracles, &cx.decisions, 2_000, 2_000)
+        .ok_or("original counterexample failed to replay")?;
+    println!(
+        "shrunk {} -> {} decisions in {} trials",
+        report.original.len(),
+        report.minimal.len(),
+        report.trials
+    );
+    println!(
+        "minimal counterexample: seed={} decisions=[{}]\n  ({})",
+        seed,
+        fmt_decisions(&report.minimal),
+        report.violation
+    );
+    println!(
+        "  replay with: hope-check replay ring2 --seed {} --demo-oracle --decisions {}",
+        seed,
+        fmt_decisions(&report.minimal)
+    );
+    Ok(())
+}
+
+/// The CI suite: fixed seeds, fixed budgets, deterministic, < ~2 min.
+fn cmd_ci(args: &[String]) -> Result<(), String> {
+    let start = Instant::now();
+    // 1. Exhaustive: every delivery order of the 2-ring converges under
+    //    Algorithm 2.
+    cmd_explore(&["ring2".into(), "--seed".into(), "1".into()])?;
+    // 2. Exhaustive: Algorithm 1 livelocks on the same ring.
+    cmd_explore(&[
+        "ring2-alg1".into(),
+        "--seed".into(),
+        "1".into(),
+        "--max-states".into(),
+        num(args, "--max-states", 50_000).to_string(),
+    ])?;
+    // 3. Random walks: 3-ring under Algorithm 2.
+    cmd_walk(&[
+        "ring3".into(),
+        "--schedules".into(),
+        "150".into(),
+        "--walk-seed".into(),
+        "3405691582".into(), // 0xCAFEBABE
+    ])?;
+    // 4. Random walks: chaos ring (crash + retransmissions), safety and
+    //    crash-recovery equivalence only.
+    cmd_walk(&[
+        "chaos2".into(),
+        "--schedules".into(),
+        "150".into(),
+        "--walk-seed".into(),
+        "7".into(),
+    ])?;
+    // 5. The counterexample pipeline end-to-end.
+    cmd_shrink_demo(&["--seed".into(), "42".into()])?;
+    println!("ci suite passed in {:.2?}", start.elapsed());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => ("ci", Vec::new()),
+    };
+    let result = match cmd {
+        "ci" => cmd_ci(&rest),
+        "explore" => cmd_explore(&rest),
+        "walk" => cmd_walk(&rest),
+        "replay" => cmd_replay(&rest),
+        "shrink-demo" => cmd_shrink_demo(&rest),
+        "--help" | "-h" | "help" => {
+            println!(
+                "usage: hope-check [ci|explore|walk|replay|shrink-demo] [scenario] [flags]\n\
+                 scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3\n\
+                 flags: --seed N --decisions 1,0,2 --schedules N --max-states N --max-steps N\n\
+                 \x20      --walk-seed N --no-sleep --demo-oracle"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}; try --help")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("hope-check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Seeded random walks: many independent schedules, each choosing
+//! uniformly among the schedulable events at every branch point. Covers
+//! depths the bounded DFS cannot reach and is the mode of choice for the
+//! chaos scenarios, where retransmission timers blow up the branch factor.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::explore::Counterexample;
+use crate::oracle::Oracle;
+use crate::world::RtWorld;
+use crate::Builder;
+
+/// Budget knobs for [`random_walk`].
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// Number of independent schedules to run.
+    pub schedules: u64,
+    /// Step budget per schedule (a schedule hitting it is abandoned
+    /// without a terminal check — random walks cannot tell livelock from
+    /// slow convergence).
+    pub max_schedule_steps: u64,
+    /// Base seed; schedule `s` derives its own generator from
+    /// `seed` and `s`, so runs are reproducible and schedules independent.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig {
+            schedules: 100,
+            max_schedule_steps: 10_000,
+            seed: 0,
+        }
+    }
+}
+
+/// What a [`random_walk`] covered and found.
+#[derive(Debug, Default)]
+pub struct WalkReport {
+    /// Schedules completed (including abandoned ones).
+    pub schedules: u64,
+    /// Total events fired.
+    pub total_steps: u64,
+    /// Schedules that reached a terminal state.
+    pub terminal_runs: u64,
+    /// Distinct terminal-state fingerprints seen.
+    pub distinct_terminals: usize,
+    /// Schedules abandoned at the step budget.
+    pub abandoned: u64,
+    /// First oracle violation, with the branch decisions that reproduce it
+    /// (the walk stops on it).
+    pub violation: Option<Counterexample>,
+}
+
+/// Runs `cfg.schedules` independent random schedules, checking `oracles`
+/// along each. Stops at the first violation; the reported decision list
+/// replays it exactly (decisions are recorded only at branch points,
+/// matching [`replay`](crate::explore::replay) semantics).
+pub fn random_walk(
+    build: Builder<'_>,
+    oracles: &mut [Box<dyn Oracle>],
+    cfg: &WalkConfig,
+) -> WalkReport {
+    let mut report = WalkReport::default();
+    let mut terminals = std::collections::HashSet::new();
+    for s in 0..cfg.schedules {
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ s.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut world = RtWorld::new(build());
+        for o in oracles.iter_mut() {
+            o.reset();
+        }
+        let mut view = world.view();
+        let mut decisions: Vec<u32> = Vec::new();
+        report.schedules += 1;
+        loop {
+            let candidates = world.pending();
+            if candidates.is_empty() {
+                for o in oracles.iter_mut() {
+                    if let Err(v) = o.check_terminal(&view) {
+                        report.violation = Some(Counterexample {
+                            decisions,
+                            violation: v,
+                        });
+                        report.total_steps += world.steps();
+                        return report;
+                    }
+                }
+                report.terminal_runs += 1;
+                terminals.insert(world.fingerprint());
+                break;
+            }
+            if world.steps() >= cfg.max_schedule_steps {
+                report.abandoned += 1;
+                break;
+            }
+            let choice = if candidates.len() == 1 {
+                0
+            } else {
+                let c = rng.random_range(0..candidates.len());
+                decisions.push(c as u32);
+                c
+            };
+            let event = candidates[choice].clone();
+            for o in oracles.iter_mut() {
+                o.on_event(&event, &view);
+            }
+            world.step(choice);
+            view = world.view();
+            for o in oracles.iter_mut() {
+                if let Err(v) = o.check_step(&view) {
+                    report.violation = Some(Counterexample {
+                        decisions,
+                        violation: v,
+                    });
+                    report.total_steps += world.steps();
+                    return report;
+                }
+            }
+        }
+        report.total_steps += world.steps();
+    }
+    report.distinct_terminals = terminals.len();
+    report
+}

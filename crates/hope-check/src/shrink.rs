@@ -1,0 +1,97 @@
+//! Greedy delta-debugging of violating schedules.
+//!
+//! A counterexample from the DFS or a random walk is a decision list;
+//! shrinking tries ever-smaller variants — dropping chunks of decisions
+//! (ddmin-style, halving the chunk size) and zeroing individual decisions
+//! (choice 0 is the runtime's default virtual-time order, the "least
+//! surprising" schedule) — keeping any variant that still violates, until
+//! a fixpoint or the trial budget. Every trial replays the scenario from
+//! scratch with `complete_with_zero`, so the shrunk list is directly
+//! replayable: decisions are consumed at branch points and the schedule's
+//! tail falls back to default order.
+
+use crate::explore::{replay, ReplayEnd};
+use crate::oracle::{Oracle, Violation};
+use crate::Builder;
+
+/// Outcome of [`shrink`].
+#[derive(Debug)]
+pub struct ShrinkReport {
+    /// The decision list shrinking started from.
+    pub original: Vec<u32>,
+    /// The smallest violating decision list found.
+    pub minimal: Vec<u32>,
+    /// Replays spent.
+    pub trials: u64,
+    /// The violation the minimal list reproduces.
+    pub violation: Violation,
+}
+
+/// Shrinks `decisions` to a (locally) minimal list that still violates an
+/// oracle under zero-completion replay. Returns `None` when the input list
+/// itself does not reproduce a violation within `max_steps`.
+pub fn shrink(
+    build: Builder<'_>,
+    oracles: &mut [Box<dyn Oracle>],
+    decisions: &[u32],
+    max_steps: u64,
+    max_trials: u64,
+) -> Option<ShrinkReport> {
+    let mut trials = 0u64;
+    let mut check = |d: &[u32], trials: &mut u64| -> Option<Violation> {
+        *trials += 1;
+        match replay(build, d, oracles, max_steps, true).end {
+            ReplayEnd::Violated(v) => Some(v),
+            _ => None,
+        }
+    };
+    let mut current = decisions.to_vec();
+    let mut violation = check(&current, &mut trials)?;
+    loop {
+        let mut progress = false;
+        // Chunk removal, halving granularity.
+        let mut chunk = current.len().div_ceil(2).max(1);
+        loop {
+            let mut start = 0;
+            while start < current.len() && trials < max_trials {
+                let mut candidate = current.clone();
+                candidate.drain(start..(start + chunk).min(candidate.len()));
+                if let Some(v) = check(&candidate, &mut trials) {
+                    current = candidate;
+                    violation = v;
+                    progress = true;
+                    // Re-test the same offset: it now holds new decisions.
+                } else {
+                    start += chunk;
+                }
+            }
+            if chunk == 1 || trials >= max_trials {
+                break;
+            }
+            chunk /= 2;
+        }
+        // Zero individual decisions (prefer the default schedule).
+        let mut i = 0;
+        while i < current.len() && trials < max_trials {
+            if current[i] != 0 {
+                let mut candidate = current.clone();
+                candidate[i] = 0;
+                if let Some(v) = check(&candidate, &mut trials) {
+                    current = candidate;
+                    violation = v;
+                    progress = true;
+                }
+            }
+            i += 1;
+        }
+        if !progress || trials >= max_trials {
+            break;
+        }
+    }
+    Some(ShrinkReport {
+        original: decisions.to_vec(),
+        minimal: current,
+        trials,
+        violation,
+    })
+}

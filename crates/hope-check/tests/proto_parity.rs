@@ -1,0 +1,64 @@
+//! Satellite check: the protocol-level engine (real `LibState` Control,
+//! real `AidMachine`, exact-state dedup) must agree with the model-based
+//! checker in `hope-core/tests/exhaustive_interleavings.rs` on the size of
+//! the reachable state space for the mutual-affirm rings.
+//!
+//! The counts below are pinned in BOTH files; if either implementation
+//! drifts (a protocol change, or a modelling bug), one of the two tests
+//! breaks and the constants must be re-derived together.
+
+use hope_check::proto::{explore, ring_initial};
+use hope_core::{AidState, HopeConfig};
+
+/// Pinned in `hope-core/tests/exhaustive_interleavings.rs` as well.
+const RING2_STATES: usize = 145;
+const RING2_TERMINALS: usize = 7;
+const RING3_STATES: usize = 19_572;
+const RING3_TERMINALS: usize = 163;
+
+fn alg2() -> HopeConfig {
+    HopeConfig::new()
+}
+
+fn alg1() -> HopeConfig {
+    let mut c = HopeConfig::new();
+    c.cycle_detection = false;
+    c
+}
+
+#[test]
+fn two_ring_counts_match_the_model_checker() {
+    let report = explore(ring_initial(2), alg2(), 200_000, |terminal| {
+        assert!(terminal.fully_definite(), "{terminal:#?}");
+        assert!(terminal.aids.iter().all(|m| m.state() == AidState::True));
+    });
+    assert!(!report.found_cycle);
+    assert_eq!(
+        (report.visited, report.terminals),
+        (RING2_STATES, RING2_TERMINALS),
+        "2-ring reachable-state counts diverged from the model checker"
+    );
+}
+
+#[test]
+fn three_ring_counts_match_the_model_checker() {
+    let report = explore(ring_initial(3), alg2(), 2_000_000, |terminal| {
+        assert!(terminal.fully_definite());
+        assert!(terminal.aids.iter().all(|m| m.state() == AidState::True));
+    });
+    assert!(!report.found_cycle);
+    assert_eq!(
+        (report.visited, report.terminals),
+        (RING3_STATES, RING3_TERMINALS),
+        "3-ring reachable-state counts diverged from the model checker"
+    );
+}
+
+#[test]
+fn algorithm_1_livelocks_in_the_real_control_too() {
+    let report = explore(ring_initial(2), alg1(), 200_000, |_| {});
+    assert!(
+        report.found_cycle,
+        "the real Control must reproduce the §5.3 livelock without UDO checks"
+    );
+}

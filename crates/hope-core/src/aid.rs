@@ -270,6 +270,11 @@ impl AidActor {
             metrics,
         }
     }
+
+    /// Read access to the wrapped state machine, for checker oracles.
+    pub fn machine(&self) -> &AidMachine {
+        &self.machine
+    }
 }
 
 impl Actor for AidActor {
@@ -298,6 +303,17 @@ impl Actor for AidActor {
 
     fn describe(&self) -> String {
         format!("aid[{}]", self.machine.state())
+    }
+
+    fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.machine.hash(&mut h);
+        h.finish()
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
     }
 }
 

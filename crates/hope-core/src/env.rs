@@ -467,6 +467,59 @@ impl HopeEnv {
         self.config
     }
 
+    /// Pids of the top-level user processes (spawned via
+    /// [`HopeEnv::spawn_user`]; children spawned by
+    /// [`ProcessCtx::spawn_user`](crate::ProcessCtx::spawn_user) are not
+    /// tracked).
+    pub fn user_pids(&self) -> Vec<ProcessId> {
+        self.libs.iter().map(|(p, _, _)| *p).collect()
+    }
+
+    /// The not-yet-executed rollback of a tracked user process. Outer
+    /// `None` means the pid is not a tracked user process.
+    pub fn pending_rollback_of(
+        &self,
+        pid: ProcessId,
+    ) -> Option<Option<crate::hopelib::PendingRollback>> {
+        self.libs
+            .iter()
+            .find(|(p, _, _)| *p == pid)
+            .map(|(_, _, lib)| lib.lock().pending_rollback)
+    }
+
+    /// Snapshots every live AID state machine (garbage-collected AIDs are
+    /// absent). Checker oracles use this to see Hot/True/False states.
+    pub fn aid_machines(&self) -> Vec<(hope_types::AidId, crate::aid::AidMachine)> {
+        self.rt
+            .actor_pids()
+            .into_iter()
+            .filter_map(|pid| {
+                let any = self.rt.actor_ref(pid)?.as_any()?;
+                let actor = any.downcast_ref::<crate::aid::AidActor>()?;
+                Some((hope_types::AidId::from_raw(pid), actor.machine().clone()))
+            })
+            .collect()
+    }
+
+    /// Deterministic fingerprint of the environment's protocol-visible
+    /// state: the runtime's [`state_hash`](SimRuntime::state_hash) (process
+    /// states and in-flight events) combined with every tracked HOPElib's
+    /// interval history and pending rollback. Virtual time and statistics
+    /// are excluded, so commuting schedules that reach the same state hash
+    /// equal.
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.rt.state_hash().hash(&mut h);
+        for (pid, _, lib) in &self.libs {
+            pid.as_raw().hash(&mut h);
+            let state = lib.lock();
+            state.history.intervals().hash(&mut h);
+            state.pending_rollback.hash(&mut h);
+        }
+        h.finish()
+    }
+
     /// Direct access to the underlying runtime (workload generators use
     /// this for non-HOPE helper processes and message statistics).
     pub fn runtime_mut(&mut self) -> &mut SimRuntime {

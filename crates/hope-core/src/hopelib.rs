@@ -23,7 +23,7 @@ use crate::metrics::HopeMetrics;
 
 /// A rollback demanded by `Control`, awaiting execution on the user
 /// thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PendingRollback {
     /// Index of the lowest doomed interval.
     pub floor: u32,

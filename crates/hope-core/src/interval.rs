@@ -22,7 +22,7 @@ use hope_types::{AidId, IdoSet, IntervalId, ProcessId};
 
 /// How an interval came to exist, which determines what rollback does at
 /// its boundary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum IntervalOrigin {
     /// The initial interval of a process; never rolled back.
     Root,
@@ -42,7 +42,7 @@ pub enum IntervalOrigin {
 }
 
 /// One interval of a process history, with its dependency sets.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct IntervalRecord {
     /// Identity (process + monotone index; indices are never reused, so
     /// stale protocol messages for discarded intervals are harmless).

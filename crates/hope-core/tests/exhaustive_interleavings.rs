@@ -397,6 +397,20 @@ fn concurrent_deny_races_the_affirm_cycle_lemma_5_1() {
 }
 
 #[test]
+fn reachable_state_counts_are_pinned() {
+    // These exact counts are also asserted by the `hope-check` crate's
+    // protocol-level engine (`tests/proto_parity.rs`), which replaces this
+    // file's hand-written Control model with the real
+    // `LibState::handle_control`. The two explorations must agree
+    // state-for-state; if a protocol change moves these numbers, re-derive
+    // them in BOTH files from the new implementations.
+    let (explored2, terminals2, _) = explore(ring_initial(2), true, 200_000, |_| {});
+    assert_eq!((explored2, terminals2), (145, 7), "2-ring");
+    let (explored3, terminals3, _) = explore(ring_initial(3), true, 2_000_000, |_| {});
+    assert_eq!((explored3, terminals3), (19_572, 163), "3-ring");
+}
+
+#[test]
 fn interleaving_statistics_are_nontrivial() {
     // Sanity on the checker itself: the 2-ring explores a genuine diamond
     // of orders, and the 3-ring is strictly bigger.

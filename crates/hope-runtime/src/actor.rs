@@ -37,6 +37,20 @@ pub trait Actor: Send {
     fn describe(&self) -> String {
         "actor".to_string()
     }
+
+    /// Stable hash of the actor's internal state, folded into
+    /// [`SimRuntime::state_hash`](crate::SimRuntime::state_hash) by model
+    /// checkers. The default (a constant) is correct for stateless actors;
+    /// stateful actors that participate in checking should override it.
+    fn state_hash(&self) -> u64 {
+        0
+    }
+
+    /// Concrete-type access for checker oracles. Returning `None` (the
+    /// default) keeps the actor opaque.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
 }
 
 /// A trivial actor that drops every message; useful as a sink in tests.

@@ -85,6 +85,24 @@ impl EventQueue {
         self.heap.pop()
     }
 
+    /// Iterates over all queued events in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.heap.iter()
+    }
+
+    /// Removes and returns the event whose tie counter is `tie`, leaving
+    /// every other event (and the tie counter) untouched. O(n): only the
+    /// external-scheduler path uses it, and checker state spaces are small.
+    pub fn take_tie(&mut self, tie: u64) -> Option<Event> {
+        let mut events = std::mem::take(&mut self.heap).into_vec();
+        let found = events
+            .iter()
+            .position(|e| e.tie == tie)
+            .map(|at| events.swap_remove(at));
+        self.heap = BinaryHeap::from(events);
+        found
+    }
+
     /// Time of the next event without removing it.
     pub fn peek_time(&self) -> Option<VirtualTime> {
         self.heap.peek().map(|e| e.time)
@@ -142,6 +160,22 @@ mod tests {
             .map(|e| pid_of(&e.kind))
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn take_tie_removes_exactly_one_event() {
+        let mut q = EventQueue::new();
+        for p in 0..4 {
+            q.push(VirtualTime::from_nanos(p * 10), wake(p));
+        }
+        let taken = q.take_tie(2).expect("tie 2 is queued");
+        assert_eq!(pid_of(&taken.kind), 2);
+        assert_eq!(q.take_tie(2), None, "already removed");
+        assert_eq!(q.take_tie(99), None, "never existed");
+        let rest: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| pid_of(&e.kind))
+            .collect();
+        assert_eq!(rest, vec![0, 1, 3], "ordering of the rest is preserved");
     }
 
     #[test]

@@ -67,6 +67,7 @@ mod fault;
 mod net;
 mod reliable;
 mod runtime;
+mod sched;
 mod stats;
 mod sysapi;
 mod threaded;
@@ -79,6 +80,7 @@ pub use fault::{CrashPoint, FaultModel, FaultPlan, WireFate};
 pub use net::{LatencyModel, NetworkConfig};
 pub use reliable::{LinkId, ReliableState};
 pub use runtime::{ProcessStatus, RuntimeBuilder, SimRuntime};
+pub use sched::{EventDesc, PendingEvent, SchedulePolicy};
 pub use stats::{LinkStats, MessageStats, PartyKind, RunReport};
 pub use sysapi::{ProcessBody, Received, SysApi};
 pub use threaded::{ThreadedRuntime, ThreadedRuntimeBuilder};

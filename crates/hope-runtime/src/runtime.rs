@@ -23,7 +23,7 @@ use crate::sysapi::{Received, SysApi};
 use crate::threadproc::{Resume, Shared, SpawnKind, SpawnRequest, ThreadCtx, YieldMsg};
 
 /// Lifecycle state of a threaded process, as visible to tests and tools.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcessStatus {
     /// Spawned but not yet started.
     New,
@@ -381,28 +381,175 @@ impl SimRuntime {
             if deadline.is_some_and(|d| next_time > d) {
                 break;
             }
+            // Check the cap *before* popping so the next event survives in
+            // the queue and a resumed run can still fire it.
+            if self.events_processed >= self.max_events {
+                hit_limit = true;
+                break;
+            }
             let ev = self.queue.pop().expect("peeked event must exist");
             debug_assert!(ev.time >= self.clock, "virtual time must be monotone");
             self.clock = ev.time;
             self.events_processed += 1;
-            if self.events_processed > self.max_events {
+            self.dispatch(ev.kind);
+        }
+        self.report(hit_limit)
+    }
+
+    /// Fires one event regardless of how it was selected.
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Wake(pid) => match self.down.get(&pid.as_raw()) {
+                // Crashed processes don't run; finish the wake once the
+                // process is back up.
+                Some(&up_at) => self.queue.push(up_at, EventKind::Wake(pid)),
+                None => self.wake(pid),
+            },
+            EventKind::Deliver(env) => self.deliver(env),
+            EventKind::Crash { pid, up_at } => self.crash(pid, up_at),
+            EventKind::Restart(pid) => self.restart(pid),
+            EventKind::Retransmit { link, seq, attempt } => self.retransmit(link, seq, attempt),
+        }
+    }
+
+    /// True if an external scheduler may fire this event now. Restarts are
+    /// held back until their crash has fired and wakes of a crashed process
+    /// are held back until its restart, which preserves the fault
+    /// timeline's causal order under arbitrary reordering of everything
+    /// else.
+    fn schedulable(&self, kind: &EventKind) -> bool {
+        match kind {
+            EventKind::Restart(pid) => self.down.contains_key(&pid.as_raw()),
+            EventKind::Wake(pid) => !self.down.contains_key(&pid.as_raw()),
+            _ => true,
+        }
+    }
+
+    /// The events an external scheduler may fire next, sorted by
+    /// `(time, tie)` — index 0 is what [`SimRuntime::run`] would fire.
+    pub fn pending_events(&self) -> Vec<crate::sched::PendingEvent> {
+        let mut pending: Vec<crate::sched::PendingEvent> = self
+            .queue
+            .iter()
+            .filter(|e| self.schedulable(&e.kind))
+            .map(crate::sched::describe)
+            .collect();
+        pending.sort_by_key(|p| (p.time, p.tie));
+        pending
+    }
+
+    /// Fires the `n`-th entry of [`SimRuntime::pending_events`]. The clock
+    /// is clamped monotone: an event chosen before an earlier-timestamped
+    /// rival fires at its own timestamp, one chosen after fires "late" at
+    /// the current clock. Returns `false` if `n` is out of range.
+    pub fn step_chosen(&mut self, n: usize) -> bool {
+        let pending = self.pending_events();
+        let Some(chosen) = pending.get(n) else {
+            return false;
+        };
+        let ev = self
+            .queue
+            .take_tie(chosen.tie)
+            .expect("pending events are queued");
+        self.clock = self.clock.max(ev.time);
+        self.events_processed += 1;
+        self.dispatch(ev.kind);
+        true
+    }
+
+    /// Runs under an external [`SchedulePolicy`](crate::SchedulePolicy)
+    /// until quiescence, the event limit, or the policy declining to
+    /// choose. Out-of-range choices stop the run like a decline.
+    pub fn run_scheduled(&mut self, policy: &mut dyn crate::sched::SchedulePolicy) -> RunReport {
+        let mut hit_limit = false;
+        loop {
+            let pending = self.pending_events();
+            if pending.is_empty() {
+                break;
+            }
+            if self.events_processed >= self.max_events {
                 hit_limit = true;
                 break;
             }
-            match ev.kind {
-                EventKind::Wake(pid) => match self.down.get(&pid.as_raw()) {
-                    // Crashed processes don't run; finish the wake once the
-                    // process is back up.
-                    Some(&up_at) => self.queue.push(up_at, EventKind::Wake(pid)),
-                    None => self.wake(pid),
-                },
-                EventKind::Deliver(env) => self.deliver(env),
-                EventKind::Crash { pid, up_at } => self.crash(pid, up_at),
-                EventKind::Restart(pid) => self.restart(pid),
-                EventKind::Retransmit { link, seq, attempt } => self.retransmit(link, seq, attempt),
+            let chosen = policy.choose(self.clock, &pending);
+            match chosen {
+                Some(n) if n < pending.len() => {
+                    self.step_chosen(n);
+                }
+                _ => break,
             }
         }
         self.report(hit_limit)
+    }
+
+    /// The report [`SimRuntime::run`] would return right now, without
+    /// processing anything. Lets checkers inspect blocked processes and
+    /// statistics between externally scheduled steps.
+    pub fn snapshot_report(&self) -> RunReport {
+        self.report(false)
+    }
+
+    /// Deterministic fingerprint of the runtime's protocol-visible state:
+    /// process states (actor hashes, threaded statuses and mailboxes), the
+    /// crashed-process set, and the multiset of in-flight events. The
+    /// clock, statistics and event counts are deliberately excluded so
+    /// that commuting schedules reaching the same state hash equal.
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for (idx, slot) in self.procs.iter().enumerate() {
+            idx.hash(&mut h);
+            match slot {
+                ProcSlot::Vacant => 0u8.hash(&mut h),
+                ProcSlot::Actor { actor, .. } => {
+                    1u8.hash(&mut h);
+                    actor.state_hash().hash(&mut h);
+                }
+                ProcSlot::Threaded(entry) => {
+                    2u8.hash(&mut h);
+                    entry.status.hash(&mut h);
+                    entry.blocked_channel.hash(&mut h);
+                    let shared = entry.shared.lock();
+                    shared.mailbox.len().hash(&mut h);
+                    for received in &shared.mailbox {
+                        received.src.as_raw().hash(&mut h);
+                        received.msg.channel.hash(&mut h);
+                        received.msg.data[..].hash(&mut h);
+                        received.msg.tag.hash(&mut h);
+                    }
+                }
+            }
+        }
+        for (&pid, &up_at) in &self.down {
+            pid.hash(&mut h);
+            up_at.as_nanos().hash(&mut h);
+        }
+        let mut in_flight: Vec<u64> = self.queue.iter().map(crate::sched::content_hash).collect();
+        in_flight.sort_unstable();
+        in_flight.hash(&mut h);
+        h.finish()
+    }
+
+    /// Read access to an actor process, for checker oracles (via
+    /// [`Actor::as_any`]). `None` for threaded processes, vacant slots and
+    /// unknown pids.
+    pub fn actor_ref(&self, pid: ProcessId) -> Option<&dyn Actor> {
+        match self.procs.get(pid.as_raw() as usize)? {
+            ProcSlot::Actor { actor, .. } => Some(actor.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// Pids of all live actor processes.
+    pub fn actor_pids(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, slot)| match slot {
+                ProcSlot::Actor { .. } => Some(ProcessId::from_raw(idx as u64)),
+                _ => None,
+            })
+            .collect()
     }
 
     fn report(&self, hit_event_limit: bool) -> RunReport {

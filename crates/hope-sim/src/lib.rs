@@ -17,6 +17,7 @@
 //! | [`soak`]       | E9    | mixed load: latency percentiles under rollback pressure |
 //! | [`protocol`]   | T1    | Table 1 message accounting |
 //! | [`chaos`]      | E-chaos | fault injection: safety invariants under drop/dup/crash |
+//! | [`scenarios`]  | E-check | zero-latency scenario builders for the `hope-check` model checker |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +31,7 @@ pub mod quadratic;
 pub mod replication;
 pub mod rings;
 pub mod rollback;
+pub mod scenarios;
 pub mod scientific;
 pub mod soak;
 pub mod table;

@@ -28,7 +28,7 @@ pub struct RingResult {
     pub finished_at: VirtualTime,
 }
 
-fn encode_aids(aids: &[AidId]) -> Bytes {
+pub(crate) fn encode_aids(aids: &[AidId]) -> Bytes {
     let mut out = Vec::with_capacity(aids.len() * 8);
     for aid in aids {
         out.extend_from_slice(&aid.process().as_raw().to_le_bytes());
@@ -36,7 +36,7 @@ fn encode_aids(aids: &[AidId]) -> Bytes {
     Bytes::from(out)
 }
 
-fn decode_aids(data: &[u8]) -> Vec<AidId> {
+pub(crate) fn decode_aids(data: &[u8]) -> Vec<AidId> {
     data.chunks_exact(8)
         .map(|c| {
             let mut raw = [0u8; 8];

@@ -1,0 +1,122 @@
+//! Checker scenario adapters: small environments built for `hope-check`'s
+//! schedule exploration rather than for timing experiments.
+//!
+//! Every scenario here uses a **zero-latency** network, which pins the
+//! virtual clock to 0 for the whole run. That matters for state-hash
+//! deduplication: two schedules that deliver commuting messages in either
+//! order then reach the *same* state only if no timestamps diverged along
+//! the way. Scenario builders return an un-run [`HopeEnv`]; the checker
+//! drives it step by step through the runtime's scheduler hook.
+
+use hope_core::HopeEnv;
+use hope_runtime::{FaultPlan, NetworkConfig};
+use hope_types::{AidId, ProcessId, VirtualDuration, VirtualTime};
+
+use crate::rings::{decode_aids, encode_aids};
+
+/// Builds (without running) a mutual-affirm ring of size `n`, the paper's
+/// F13 interference cycle: process *i* guesses AID *i* and affirms AID
+/// *(i+1) mod n*. Under Algorithm 2 (`cycle_detection = true`) every
+/// schedule must converge with all intervals finalized; under Algorithm 1
+/// the ring livelocks (§5.3).
+pub fn ring(n: usize, cycle_detection: bool, seed: u64) -> HopeEnv {
+    assert!(n >= 2, "a ring needs at least two processes");
+    let mut env = HopeEnv::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::ZERO))
+        .cycle_detection(cycle_detection)
+        .max_events(1_000_000)
+        .build();
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let pid = env.spawn_user(&format!("ring-{i}"), move |ctx| {
+            let m = ctx.receive(None);
+            let aids = decode_aids(&m.data);
+            let mine = aids[i];
+            let next = aids[(i + 1) % aids.len()];
+            if ctx.guess(mine) {
+                ctx.affirm(next);
+            }
+        });
+        pids.push(pid);
+    }
+    env.spawn_user("coordinator", move |ctx| {
+        let aids: Vec<AidId> = (0..pids.len()).map(|_| ctx.aid_init()).collect();
+        let payload = encode_aids(&aids);
+        for &p in &pids {
+            ctx.send(p, 0, payload.clone());
+        }
+    });
+    env
+}
+
+/// A ring under Algorithm 2 plus a scheduled crash/restart of ring process
+/// 0 at virtual time zero. The fault plan enables the reliable-delivery
+/// sublayer, so the checker also explores orderings of retransmission
+/// timers against deliveries and the crash window. Because a schedule can
+/// deliver every copy of a message inside the down window (losing it for
+/// good), convergence is *not* guaranteed here — safety and crash-recovery
+/// equivalence are.
+pub fn chaos_ring(n: usize, seed: u64) -> HopeEnv {
+    assert!(n >= 2, "a ring needs at least two processes");
+    let victim = ProcessId::from_raw(0); // ring-0: first spawn below
+    let plan = FaultPlan::new()
+        .seed(seed)
+        .crash(victim, VirtualTime::ZERO, VirtualDuration::ZERO)
+        .rto(VirtualDuration::from_millis(5))
+        .max_retransmits(6);
+    let mut env = HopeEnv::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::ZERO))
+        .cycle_detection(true)
+        .max_events(1_000_000)
+        .faults(plan)
+        .build();
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let pid = env.spawn_user(&format!("ring-{i}"), move |ctx| {
+            let m = ctx.receive(None);
+            let aids = decode_aids(&m.data);
+            let mine = aids[i];
+            let next = aids[(i + 1) % aids.len()];
+            if ctx.guess(mine) {
+                ctx.affirm(next);
+            }
+        });
+        pids.push(pid);
+    }
+    assert_eq!(pids[0], victim, "crash plan must target ring-0");
+    env.spawn_user("coordinator", move |ctx| {
+        let aids: Vec<AidId> = (0..pids.len()).map(|_| ctx.aid_init()).collect();
+        let payload = encode_aids(&aids);
+        for &p in &pids {
+            ctx.send(p, 0, payload.clone());
+        }
+    });
+    env
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_runs_to_convergence_in_default_order() {
+        let mut env = ring(2, true, 1);
+        let report = env.run();
+        assert!(report.is_clean());
+        assert!(report.run.blocked.is_empty());
+        assert_eq!(report.run.now, VirtualTime::ZERO, "zero-latency clock");
+        for pid in env.user_pids() {
+            let history = env.history_of(pid).expect("tracked");
+            assert!(history.iter().all(|r| r.definite));
+        }
+    }
+
+    #[test]
+    fn chaos_ring_recovers_in_default_order() {
+        let mut env = chaos_ring(2, 1);
+        let report = env.run();
+        assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+    }
+}

@@ -372,6 +372,88 @@ impl Payload {
     }
 }
 
+/// Wire-format tags for [`Payload::encode`].
+mod payload_wire {
+    pub const USER: u8 = 16;
+    pub const HOPE: u8 = 17;
+    pub const ACK: u8 = 18;
+}
+
+fn put_bytes(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.put_slice(data);
+}
+
+fn read_bytes(buf: &[u8], at: &mut usize) -> Option<Bytes> {
+    let n = read_u32(buf, at)? as usize;
+    let bytes = buf.get(*at..*at + n)?;
+    *at += n;
+    Some(Bytes::copy_from_slice(bytes))
+}
+
+fn put_payload(buf: &mut BytesMut, payload: &Payload) {
+    match payload {
+        Payload::User(m) => {
+            buf.put_u8(payload_wire::USER);
+            buf.put_u32_le(m.channel);
+            put_bytes(buf, &m.data);
+            put_ido(buf, &m.tag);
+        }
+        Payload::Hope(m) => {
+            buf.put_u8(payload_wire::HOPE);
+            // Length-prefixed so the nested decoder sees an exact frame
+            // (HopeMessage::decode rejects trailing bytes).
+            put_bytes(buf, &m.encode());
+        }
+        Payload::Ack { seq } => {
+            buf.put_u8(payload_wire::ACK);
+            buf.put_u64_le(*seq);
+        }
+    }
+}
+
+fn read_payload(buf: &[u8], at: &mut usize) -> Option<Payload> {
+    match read_u8(buf, at)? {
+        payload_wire::USER => {
+            let channel = read_u32(buf, at)?;
+            let data = read_bytes(buf, at)?;
+            let tag = read_ido(buf, at)?;
+            Some(Payload::User(UserMessage { channel, data, tag }))
+        }
+        payload_wire::HOPE => {
+            let frame = read_bytes(buf, at)?;
+            Some(Payload::Hope(HopeMessage::decode(&frame)?))
+        }
+        payload_wire::ACK => Some(Payload::Ack {
+            seq: read_u64(buf, at)?,
+        }),
+        _ => None,
+    }
+}
+
+impl Payload {
+    /// Serializes this payload in the same little-endian wire form as
+    /// [`HopeMessage::encode`]; payload tags live in a disjoint range so a
+    /// frame's first byte identifies the layer it belongs to.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32);
+        put_payload(&mut buf, self);
+        buf.freeze()
+    }
+
+    /// Parses a payload produced by [`Payload::encode`]. Returns `None` on
+    /// truncated, malformed, or padded input.
+    pub fn decode(buf: &[u8]) -> Option<Payload> {
+        let mut at = 0usize;
+        let payload = read_payload(buf, &mut at)?;
+        if at == buf.len() {
+            Some(payload)
+        } else {
+            None
+        }
+    }
+}
+
 /// A message in flight between two runtime processes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
@@ -385,6 +467,43 @@ pub struct Envelope {
     pub seq: u64,
     /// The carried message.
     pub payload: Payload,
+}
+
+impl Envelope {
+    /// Serializes the full envelope — link header (`src`, `dst`,
+    /// `sent_at`, `seq`) followed by the payload — for transports that
+    /// move frames between address spaces.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u64_le(self.src.as_raw());
+        buf.put_u64_le(self.dst.as_raw());
+        buf.put_u64_le(self.sent_at.as_nanos());
+        buf.put_u64_le(self.seq);
+        put_payload(&mut buf, &self.payload);
+        buf.freeze()
+    }
+
+    /// Parses an envelope produced by [`Envelope::encode`]. Returns `None`
+    /// on truncated or malformed input; trailing bytes are rejected.
+    pub fn decode(buf: &[u8]) -> Option<Envelope> {
+        let mut at = 0usize;
+        let src = ProcessId::from_raw(read_u64(buf, &mut at)?);
+        let dst = ProcessId::from_raw(read_u64(buf, &mut at)?);
+        let sent_at = VirtualTime::from_nanos(read_u64(buf, &mut at)?);
+        let seq = read_u64(buf, &mut at)?;
+        let payload = read_payload(buf, &mut at)?;
+        if at == buf.len() {
+            Some(Envelope {
+                src,
+                dst,
+                sent_at,
+                seq,
+                payload,
+            })
+        } else {
+            None
+        }
+    }
 }
 
 /// Helper for building the synthetic interval id used by definite

@@ -1,0 +1,214 @@
+//! Property tests of the wire codec: every `HopeMessage` variant, every
+//! `Payload` variant, and the full `Envelope` (including the reliable-link
+//! `seq` header and `Ack` payloads) must round-trip through
+//! `encode`/`decode` for arbitrary field values, and the decoders must
+//! reject truncated or padded frames. Set-algebra laws the codec leans on
+//! (union/closure idempotence for the IDO tag) ride along; the basic set
+//! laws live in `set_properties.rs`.
+
+use bytes::Bytes;
+use hope_types::{
+    AidId, Envelope, HopeMessage, IdSet, IdoSet, IntervalId, Payload, ProcessId, UserMessage,
+    VirtualTime,
+};
+use proptest::prelude::*;
+
+fn aid(raw: u64) -> AidId {
+    AidId::from_raw(ProcessId::from_raw(raw))
+}
+
+fn ido(raws: &[u64]) -> IdoSet {
+    raws.iter().map(|&r| aid(r)).collect()
+}
+
+fn iid(process: u64, index: u32) -> IntervalId {
+    IntervalId::new(ProcessId::from_raw(process), index)
+}
+
+/// Every `HopeMessage` variant reachable from one generator; `pick`
+/// selects the variant so a single property covers the whole enum.
+fn message(pick: u8, p: u64, ix: u32, set: &[u64], flag: bool) -> HopeMessage {
+    match pick % 7 {
+        0 => HopeMessage::Guess { iid: iid(p, ix) },
+        1 => HopeMessage::Affirm {
+            iid: flag.then(|| iid(p, ix)),
+            ido: ido(set),
+        },
+        2 => HopeMessage::Deny {
+            iid: flag.then(|| iid(p, ix)),
+        },
+        3 => HopeMessage::Replace {
+            iid: iid(p, ix),
+            ido: ido(set),
+        },
+        4 => HopeMessage::Retain,
+        5 => HopeMessage::Release,
+        _ => HopeMessage::Rollback {
+            iid: iid(p, ix),
+            cause: flag.then(|| aid(p ^ 0x5a5a)),
+        },
+    }
+}
+
+fn payload(pick: u8, p: u64, ix: u32, set: &[u64], flag: bool, data: &[u8]) -> Payload {
+    match pick % 9 {
+        7 => Payload::User(UserMessage {
+            channel: ix,
+            data: Bytes::copy_from_slice(data),
+            tag: ido(set),
+        }),
+        8 => Payload::Ack { seq: p },
+        m => Payload::Hope(message(m, p, ix, set, flag)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hope_message_round_trips(
+        pick in any::<u8>(),
+        p in any::<u64>(),
+        ix in any::<u32>(),
+        set in proptest::collection::vec(any::<u64>(), 0..6),
+        flag in any::<bool>(),
+    ) {
+        let m = message(pick, p, ix, &set, flag);
+        let wire = m.encode();
+        prop_assert_eq!(HopeMessage::decode(&wire), Some(m));
+    }
+
+    #[test]
+    fn hope_message_rejects_truncation_and_padding(
+        pick in any::<u8>(),
+        p in any::<u64>(),
+        ix in any::<u32>(),
+        set in proptest::collection::vec(any::<u64>(), 0..6),
+        flag in any::<bool>(),
+        cut in any::<u8>(),
+    ) {
+        let wire = message(pick, p, ix, &set, flag).encode();
+        let keep = (cut as usize) % wire.len();
+        prop_assert_eq!(HopeMessage::decode(&wire[..keep]), None);
+        let mut padded = wire.to_vec();
+        padded.push(0);
+        prop_assert_eq!(HopeMessage::decode(&padded), None);
+    }
+
+    #[test]
+    fn payload_round_trips(
+        pick in any::<u8>(),
+        p in any::<u64>(),
+        ix in any::<u32>(),
+        set in proptest::collection::vec(any::<u64>(), 0..6),
+        flag in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let pl = payload(pick, p, ix, &set, flag, &data);
+        let wire = pl.encode();
+        prop_assert_eq!(Payload::decode(&wire), Some(pl));
+    }
+
+    #[test]
+    fn envelope_round_trips_with_link_header(
+        pick in any::<u8>(),
+        p in any::<u64>(),
+        ix in any::<u32>(),
+        set in proptest::collection::vec(any::<u64>(), 0..6),
+        flag in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..48),
+        src in any::<u64>(),
+        dst in any::<u64>(),
+        sent_at in any::<u64>(),
+        seq in any::<u64>(),
+    ) {
+        let env = Envelope {
+            src: ProcessId::from_raw(src),
+            dst: ProcessId::from_raw(dst),
+            sent_at: VirtualTime::from_nanos(sent_at),
+            seq,
+            payload: payload(pick, p, ix, &set, flag, &data),
+        };
+        let wire = env.encode();
+        let back = Envelope::decode(&wire);
+        prop_assert_eq!(back.as_ref(), Some(&env));
+        // The link header fields survive exactly — the retransmission
+        // logic keys on (src, dst, seq).
+        let back = back.unwrap();
+        prop_assert_eq!(back.seq, seq);
+        prop_assert_eq!(back.sent_at.as_nanos(), sent_at);
+    }
+
+    #[test]
+    fn envelope_rejects_truncation_and_padding(
+        pick in any::<u8>(),
+        p in any::<u64>(),
+        ix in any::<u32>(),
+        set in proptest::collection::vec(any::<u64>(), 0..6),
+        flag in any::<bool>(),
+        data in proptest::collection::vec(any::<u8>(), 0..16),
+        cut in any::<u8>(),
+    ) {
+        let env = Envelope {
+            src: ProcessId::from_raw(1),
+            dst: ProcessId::from_raw(2),
+            sent_at: VirtualTime::ZERO,
+            seq: p,
+            payload: payload(pick, p, ix, &set, flag, &data),
+        };
+        let wire = env.encode();
+        let keep = (cut as usize) % wire.len();
+        prop_assert_eq!(Envelope::decode(&wire[..keep]), None);
+        let mut padded = wire.to_vec();
+        padded.push(0);
+        prop_assert_eq!(Envelope::decode(&padded), None);
+    }
+
+    /// The IDO tag written on the wire is a set: encoding drops duplicates
+    /// and orders elements, so decode(encode(s)) is the canonical form and
+    /// a second round-trip is the identity (codec idempotence).
+    #[test]
+    fn ido_codec_reaches_fixpoint_in_one_step(
+        set in proptest::collection::vec(any::<u64>(), 0..12),
+        ix in any::<u32>(),
+        p in any::<u64>(),
+    ) {
+        let m = HopeMessage::Replace { iid: iid(p, ix), ido: ido(&set) };
+        let once = HopeMessage::decode(&m.encode()).unwrap();
+        let twice = HopeMessage::decode(&once.encode()).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(once.encode(), twice.encode());
+    }
+
+    /// Dependency closure — repeatedly folding each member's own IDO set
+    /// into the tag, as implicit guessing does transitively — reaches a
+    /// fixpoint, and applying the closure again leaves it unchanged.
+    #[test]
+    fn dependency_closure_is_idempotent(
+        seed in proptest::collection::vec(any::<u8>(), 1..8),
+        deps in proptest::collection::vec((any::<u8>(), any::<u8>()), 0..24),
+    ) {
+        fn close(start: &IdSet<u8>, deps: &[(u8, u8)]) -> IdSet<u8> {
+            let mut s = start.clone();
+            loop {
+                let mut grew = false;
+                for &(from, to) in deps {
+                    if s.contains(&from) && s.insert(to) {
+                        grew = true;
+                    }
+                }
+                if !grew {
+                    return s;
+                }
+            }
+        }
+        let start: IdSet<u8> = seed.iter().copied().collect();
+        let closed = close(&start, &deps);
+        prop_assert!(start.is_subset(&closed));
+        prop_assert_eq!(close(&closed, &deps), closed.clone());
+        // Closure is monotone w.r.t. union: closing the union is the same
+        // as closing the union of the closures.
+        let closed_union = close(&closed.union(&start), &deps);
+        prop_assert_eq!(closed_union, closed);
+    }
+}
