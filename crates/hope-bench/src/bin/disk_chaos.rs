@@ -1,0 +1,42 @@
+//! E-disk: storage-fault soak — the value-committing ledger under seeded
+//! drops, duplicates and a crash whose durable op-log image tears, loses
+//! its fsync window or takes a bit flip. Every run must recover the
+//! longest valid prefix, reach the definite frontier recorded at crash
+//! time, and commit the fault-free totals (Theorem 5.1); checkpoint GC
+//! must keep live WAL segments bounded throughout.
+
+use hope_sim::disk_chaos::{run_threaded, soak, sweep, DiskChaosConfig};
+
+fn main() {
+    let table = sweep(64, &[0.0, 0.05, 0.15, 0.25], DiskChaosConfig::default());
+    hope_bench::emit(&table);
+
+    let out = soak(1000, DiskChaosConfig::default());
+    println!(
+        "soak: runs={} correct={} recoveries={} corrupt={} disk-faults={} \
+         frontier-violations={} gc-segments={} max-live-segments={}",
+        out.runs,
+        out.correct,
+        out.recoveries,
+        out.corrupt_recoveries,
+        out.faults_injected,
+        out.frontier_violations,
+        out.gc_segments,
+        out.max_live_segments
+    );
+    assert_eq!(out.runs, out.correct, "Theorem 5.1 violation in soak");
+    assert_eq!(out.frontier_violations, 0, "frontier equivalence violated");
+
+    let t = run_threaded(DiskChaosConfig::default());
+    println!(
+        "threaded: correct={} finalized={} rollbacks={} recoveries={} \
+         store-recoveries={} frontier-violations={}",
+        t.matches_fault_free,
+        t.finalized,
+        t.rollbacks,
+        t.crash_recoveries,
+        t.store.store.recoveries,
+        t.store.frontier_violations
+    );
+    assert!(t.matches_fault_free, "threaded run diverged");
+}

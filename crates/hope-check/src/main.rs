@@ -12,8 +12,10 @@
 //! Scenarios: `ring2`, `ring3` (Algorithm 2 mutual-affirm rings),
 //! `ring2-alg1`, `ring3-alg1` (Algorithm 1, livelocks), `chaos2`,
 //! `chaos3` (Algorithm 2 plus a crash/restart of ring process 0 and the
-//! reliable-delivery sublayer). Everything is deterministic given the
-//! flags; all run within a small fixed budget (see EXPERIMENTS.md E-check).
+//! reliable-delivery sublayer), `disk2`, `disk3` (the chaos ring with
+//! durable op-logs whose crash images take seeded storage faults).
+//! Everything is deterministic given the flags; all run within a small
+//! fixed budget (see EXPERIMENTS.md E-check).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,16 +38,20 @@ struct Scenario {
 }
 
 fn scenario(name: &str, seed: u64) -> Option<Scenario> {
-    let (n, alg1, chaos) = match name {
-        "ring2" => (2, false, false),
-        "ring3" => (3, false, false),
-        "ring2-alg1" => (2, true, false),
-        "ring3-alg1" => (3, true, false),
-        "chaos2" => (2, false, true),
-        "chaos3" => (3, false, true),
+    let (n, alg1, chaos, disk) = match name {
+        "ring2" => (2, false, false, false),
+        "ring3" => (3, false, false, false),
+        "ring2-alg1" => (2, true, false, false),
+        "ring3-alg1" => (3, true, false, false),
+        "chaos2" => (2, false, true, false),
+        "chaos3" => (3, false, true, false),
+        "disk2" => (2, false, true, true),
+        "disk3" => (3, false, true, true),
         _ => return None,
     };
-    let build: Box<dyn Fn() -> HopeEnv> = if chaos {
+    let build: Box<dyn Fn() -> HopeEnv> = if disk {
+        Box::new(move || scenarios::disk_ring(n, seed))
+    } else if chaos {
         Box::new(move || scenarios::chaos_ring(n, seed))
     } else {
         Box::new(move || scenarios::ring(n, !alg1, seed))
@@ -57,7 +63,9 @@ fn scenario(name: &str, seed: u64) -> Option<Scenario> {
             "ring2-alg1" => "ring2-alg1",
             "ring3-alg1" => "ring3-alg1",
             "chaos2" => "chaos2",
-            _ => "chaos3",
+            "chaos3" => "chaos3",
+            "disk2" => "disk2",
+            _ => "disk3",
         },
         build,
         expect_livelock: alg1,
@@ -298,7 +306,17 @@ fn cmd_ci(args: &[String]) -> Result<(), String> {
         "--walk-seed".into(),
         "7".into(),
     ])?;
-    // 5. The counterexample pipeline end-to-end.
+    // 5. Random walks: disk ring (crash with a storage-faulted durable
+    //    op-log) — recovery must stay safe on every schedule even when the
+    //    crash image is torn, truncated, or bit-flipped.
+    cmd_walk(&[
+        "disk2".into(),
+        "--schedules".into(),
+        "150".into(),
+        "--walk-seed".into(),
+        "11".into(),
+    ])?;
+    // 6. The counterexample pipeline end-to-end.
     cmd_shrink_demo(&["--seed".into(), "42".into()])?;
     println!("ci suite passed in {:.2?}", start.elapsed());
     Ok(())
@@ -319,7 +337,7 @@ fn main() -> ExitCode {
         "--help" | "-h" | "help" => {
             println!(
                 "usage: hope-check [ci|explore|walk|replay|shrink-demo] [scenario] [flags]\n\
-                 scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3\n\
+                 scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3 disk2 disk3\n\
                  flags: --seed N --decisions 1,0,2 --schedules N --max-states N --max-steps N\n\
                  \x20      --walk-seed N --no-sleep --demo-oracle"
             );

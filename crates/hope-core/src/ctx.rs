@@ -647,9 +647,12 @@ impl<'a> ProcessCtx<'a> {
             };
         }
         self.check_rollback();
-        let config = self.lib.lock().config();
+        let (config, registry) = {
+            let state = self.lib.lock();
+            (state.config(), state.registry().cloned())
+        };
         let (_lib, control, runner) =
-            crate::env::make_user_process(config, self.metrics.clone(), Box::new(body));
+            crate::env::make_user_process(config, self.metrics.clone(), registry, Box::new(body));
         let pid = self.sys.spawn_threaded(name, Some(control), runner);
         self.log.record(Op::SpawnUser { pid });
         pid

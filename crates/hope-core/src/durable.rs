@@ -1,0 +1,808 @@
+//! Durable op-log storage: substitution **S6** in DESIGN.md.
+//!
+//! The paper's prototype made rollback survivable by checkpointing whole
+//! UNIX process images to disk. This module is the modern substitute: each
+//! user process's [`ReplayLog`](crate::replay::ReplayLog) mutations are
+//! mirrored into a [`SegmentedLog`] — a CRC32-framed, segmented write-ahead
+//! log with periodic checkpoint snapshots — so a *crashed* process recovers
+//! its op log from storage rather than from the conveniently immortal
+//! in-memory copy the runtimes kept until now.
+//!
+//! The moving parts:
+//!
+//! * [`DurableStore`] — one process's WAL plus an in-memory shadow of the
+//!   op list. Appends and rollbacks become event records; a frontier
+//!   notification periodically snapshots the shadow as a checkpoint and
+//!   runs segment GC (checkpoints behind the definite frontier are dead
+//!   weight, exactly like the paper's discarded process images).
+//! * [`StoreHandle`] — a shared handle implementing
+//!   [`LogSink`](crate::replay::LogSink) / [`LogSource`](crate::replay::LogSource),
+//!   installed into the process's `ReplayLog`.
+//! * [`StoreRegistry`] — the per-environment collection of stores, plus the
+//!   seeded storage-fault draw: at crash time the unsynced tail of the WAL
+//!   may tear, vanish, or take a bit flip
+//!   ([`StorageFaultPlan`]), and recovery must still produce a valid
+//!   prefix that satisfies Theorem 5.1.
+//!
+//! The durability argument: the [`SyncPolicy::Visible`] default fsyncs
+//! after every *externally visible* op (sends, receives, guesses,
+//! affirms/denies, AID traffic). The unsynced window therefore only ever
+//! holds ops whose loss is locally repairable — `Now`, `Random`,
+//! `Compute`, and empty `TryReceive` polls — so the recovered prefix never
+//! retracts an effect the rest of the system observed, and the definite
+//! frontier at crash time is always at or behind the recovered length.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hope_runtime::StorageFaultPlan;
+use hope_store::{SegmentedLog, StorageFault, StoreConfig, StoreStats};
+use hope_types::ProcessId;
+
+use crate::replay::{LogSink, LogSource, Op};
+
+/// When the store fsyncs the WAL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Sync after every appended record. Maximum durability, maximum cost.
+    EveryRecord,
+    /// Sync after externally visible ops (sends, receives with a message,
+    /// guesses, affirms, denies, free-ofs, AID ops, spawns, barriers) and
+    /// after every rollback. Local-only ops (`Now`, `Random`, `Compute`,
+    /// empty `TryReceive`) ride in the unsynced window: losing them merely
+    /// re-draws them on re-execution. This is the default.
+    #[default]
+    Visible,
+    /// Sync only at frontier notifications and rollbacks. Cheapest; may
+    /// lose visible suffixes on crash, so only safe for workloads that
+    /// tolerate re-execution of unacknowledged effects.
+    OnFrontier,
+}
+
+/// Configuration for one environment's durable stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// WAL segment size before rotation (bytes).
+    pub segment_bytes: usize,
+    /// Checkpoint the shadow after this many event records.
+    pub checkpoint_every: usize,
+    /// Fsync cadence.
+    pub sync_policy: SyncPolicy,
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            segment_bytes: 4096,
+            checkpoint_every: 64,
+            sync_policy: SyncPolicy::Visible,
+        }
+    }
+}
+
+/// Wire tags for WAL event payloads (one mutation of the op log each).
+mod event_wire {
+    pub const APPEND: u8 = 1;
+    pub const ROLLBACK_GUESS: u8 = 2;
+    pub const ROLLBACK_RECEIVE: u8 = 3;
+    pub const ROLLBACK_BEFORE: u8 = 4;
+}
+
+/// True if losing this op in a crash could retract an effect another
+/// process (or an AID) has already observed — these force an fsync under
+/// [`SyncPolicy::Visible`].
+fn is_visible(op: &Op) -> bool {
+    !matches!(
+        op,
+        Op::Now { .. } | Op::Random { .. } | Op::Compute { .. } | Op::TryReceive { result: None }
+    )
+}
+
+/// Counters aggregated across one environment's stores, surfaced through
+/// [`HopeEnv::store_stats`](crate::HopeEnv::store_stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DurableSnapshot {
+    /// Per-log lifecycle counters, summed over all stores (except
+    /// `max_live_segments`, which is the maximum over stores).
+    pub store: StoreStats,
+    /// Ops reconstructed across all recoveries.
+    pub recovered_ops: u64,
+    /// Recoveries whose recovered prefix fell short of the definite
+    /// frontier recorded at crash time — a Theorem 5.1 violation. Must
+    /// stay zero under [`SyncPolicy::Visible`] and [`SyncPolicy::EveryRecord`].
+    pub frontier_violations: u64,
+    /// Crash images that had a storage fault injected.
+    pub faults_injected: u64,
+    /// Recoveries that decoded a semantically invalid record (decode
+    /// failure or out-of-range rollback index) and stopped early.
+    pub decode_stops: u64,
+}
+
+/// One process's durable op log: WAL + shadow + crash/recovery state.
+#[derive(Debug)]
+pub struct DurableStore {
+    pid: ProcessId,
+    log: SegmentedLog,
+    /// In-memory mirror of the op list the WAL encodes; snapshotted into
+    /// checkpoint records.
+    shadow: Vec<Op>,
+    config: DurableConfig,
+    events_since_checkpoint: usize,
+    /// Seeded draw for crash-image storage faults.
+    rng: StdRng,
+    torn_rate: f64,
+    lost_rate: f64,
+    flip_rate: f64,
+    /// Definite-frontier floor (op index) captured at the last crash.
+    definite_floor: usize,
+    /// True between a restart and the recovery hand-off.
+    recover_pending: bool,
+    recovered_ops: u64,
+    frontier_violations: u64,
+    faults_injected: u64,
+    decode_stops: u64,
+}
+
+impl DurableStore {
+    /// A fresh store for `pid`. `faults` configures the seeded crash-image
+    /// fault draw; `seed` derives the per-process fault stream.
+    pub fn new(
+        pid: ProcessId,
+        config: DurableConfig,
+        faults: Option<&StorageFaultPlan>,
+        seed: u64,
+    ) -> Self {
+        let fault_seed = faults.and_then(|f| f.pinned_seed()).unwrap_or(seed)
+            ^ pid.as_raw().wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            ^ 0x6469_736b_2d63_6821; // "disk-ch!"
+        DurableStore {
+            pid,
+            log: SegmentedLog::new(StoreConfig {
+                segment_bytes: config.segment_bytes,
+            }),
+            shadow: Vec::new(),
+            config,
+            events_since_checkpoint: 0,
+            rng: StdRng::seed_from_u64(fault_seed),
+            torn_rate: faults.map_or(0.0, |f| f.torn_rate()),
+            lost_rate: faults.map_or(0.0, |f| f.lost_sync_rate()),
+            flip_rate: faults.map_or(0.0, |f| f.bit_flip_rate()),
+            definite_floor: 0,
+            recover_pending: false,
+            recovered_ops: 0,
+            frontier_violations: 0,
+            faults_injected: 0,
+            decode_stops: 0,
+        }
+    }
+
+    /// The process this store belongs to.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// WAL lifecycle counters.
+    pub fn stats(&self) -> StoreStats {
+        self.log.stats()
+    }
+
+    /// Segments currently alive in the WAL.
+    pub fn live_segments(&self) -> usize {
+        self.log.live_segments()
+    }
+
+    fn sync_for(&mut self, op: &Op) {
+        match self.config.sync_policy {
+            SyncPolicy::EveryRecord => self.log.sync(),
+            SyncPolicy::Visible => {
+                if is_visible(op) {
+                    self.log.sync();
+                }
+            }
+            SyncPolicy::OnFrontier => {}
+        }
+    }
+
+    /// Mirrors a live append into the WAL.
+    pub fn append(&mut self, op: &Op) {
+        let mut payload = vec![event_wire::APPEND];
+        payload.extend_from_slice(&op.encode());
+        self.log.append_event(&payload);
+        self.shadow.push(op.clone());
+        self.events_since_checkpoint += 1;
+        self.sync_for(op);
+    }
+
+    fn rollback_event(&mut self, tag: u8, op_index: usize) {
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&(op_index as u32).to_le_bytes());
+        self.log.append_event(&payload);
+        self.events_since_checkpoint += 1;
+        // Rollbacks reshape history; they are always made durable at once
+        // so a crash mid-rollback cannot resurrect a retracted suffix.
+        self.log.sync();
+    }
+
+    /// Mirrors [`ReplayLog::rollback_to_guess`](crate::replay::ReplayLog::rollback_to_guess).
+    pub fn rollback_to_guess(&mut self, op_index: usize) {
+        apply_rollback_guess(&mut self.shadow, op_index);
+        self.rollback_event(event_wire::ROLLBACK_GUESS, op_index);
+    }
+
+    /// Mirrors [`ReplayLog::rollback_to_receive`](crate::replay::ReplayLog::rollback_to_receive).
+    pub fn rollback_to_receive(&mut self, op_index: usize) {
+        self.shadow.truncate(op_index);
+        self.rollback_event(event_wire::ROLLBACK_RECEIVE, op_index);
+    }
+
+    /// Mirrors [`ReplayLog::rollback_before`](crate::replay::ReplayLog::rollback_before).
+    pub fn rollback_before(&mut self, op_index: usize) {
+        self.shadow.truncate(op_index);
+        self.rollback_event(event_wire::ROLLBACK_BEFORE, op_index);
+    }
+
+    /// Frontier notification from the HOPElib: intervals became definite.
+    /// Everything so far becomes durable; if enough events accumulated the
+    /// shadow is checkpointed and segments wholly behind the checkpoint
+    /// are compacted away.
+    pub fn on_frontier(&mut self) {
+        self.log.sync();
+        if self.events_since_checkpoint >= self.config.checkpoint_every {
+            let mut payload = Vec::new();
+            payload.extend_from_slice(&(self.shadow.len() as u32).to_le_bytes());
+            for op in &self.shadow {
+                payload.extend_from_slice(&op.encode());
+            }
+            self.log.append_checkpoint(&payload);
+            self.log.sync();
+            self.events_since_checkpoint = 0;
+            self.log.gc();
+        }
+    }
+
+    /// The process crashed: apply a (possibly faulty) crash image to the
+    /// WAL and remember the definite frontier so recovery can be audited
+    /// against Theorem 5.1. `definite_floor` is the op index up to which
+    /// the process's history was definite at the instant of the crash.
+    pub fn note_crash(&mut self, definite_floor: usize) {
+        let fault = self.draw_fault();
+        if fault.is_some() {
+            self.faults_injected += 1;
+        }
+        self.log.crash(fault);
+        self.definite_floor = definite_floor;
+    }
+
+    fn draw_fault(&mut self) -> Option<StorageFault> {
+        let total = self.torn_rate + self.lost_rate + self.flip_rate;
+        if total <= 0.0 {
+            return None;
+        }
+        let u = self.rng.next_u64() as f64 / u64::MAX as f64;
+        if u < self.torn_rate {
+            Some(StorageFault::TornFinalRecord {
+                keep: self.rng.next_u64(),
+            })
+        } else if u < self.torn_rate + self.lost_rate {
+            Some(StorageFault::LostSyncWindow)
+        } else if u < total {
+            Some(StorageFault::BitFlip {
+                offset: self.rng.next_u64(),
+                bit: (self.rng.next_u64() % 8) as u8,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The process restarted: the next [`DurableStore::take_recovery`]
+    /// will rebuild the op log from storage.
+    pub fn mark_restarted(&mut self) {
+        self.recover_pending = true;
+    }
+
+    /// Hands the recovered op list to the restarting process, exactly once
+    /// per restart. Scans the WAL's longest valid prefix, replays the
+    /// checkpoint + event records into an op list (stopping — never
+    /// panicking — at the first semantically invalid record), audits it
+    /// against the definite frontier recorded at crash time, and resets
+    /// the shadow to match.
+    pub fn take_recovery(&mut self) -> Option<Vec<Op>> {
+        if !self.recover_pending {
+            return None;
+        }
+        self.recover_pending = false;
+        let recovered = self.log.recover();
+        let mut ops: Vec<Op> = Vec::new();
+        let mut stopped = false;
+        if let Some(snapshot) = recovered.checkpoint.as_deref() {
+            if !decode_checkpoint(snapshot, &mut ops) {
+                stopped = true;
+            }
+        }
+        if !stopped {
+            for event in &recovered.events {
+                if !apply_event(event, &mut ops) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+        if stopped {
+            self.decode_stops += 1;
+        }
+        if ops.len() < self.definite_floor {
+            self.frontier_violations += 1;
+        }
+        self.recovered_ops += ops.len() as u64;
+        self.shadow = ops.clone();
+        self.events_since_checkpoint = 0;
+        Some(ops)
+    }
+
+    /// Per-store contribution to the environment aggregate.
+    pub fn snapshot(&self) -> DurableSnapshot {
+        DurableSnapshot {
+            store: self.log.stats(),
+            recovered_ops: self.recovered_ops,
+            frontier_violations: self.frontier_violations,
+            faults_injected: self.faults_injected,
+            decode_stops: self.decode_stops,
+        }
+    }
+}
+
+/// Flips the guess at `op_index` and truncates everything after it —
+/// defensively: malformed input truncates instead of panicking (the data
+/// may come off a recovered WAL).
+fn apply_rollback_guess(ops: &mut Vec<Op>, op_index: usize) -> bool {
+    if op_index >= ops.len() {
+        return false;
+    }
+    ops.truncate(op_index + 1);
+    match ops.last_mut() {
+        Some(Op::Guess { outcome, .. }) => {
+            *outcome = false;
+            true
+        }
+        _ => {
+            ops.truncate(op_index);
+            false
+        }
+    }
+}
+
+/// Decodes a checkpoint payload (`count` + concatenated op encodings) into
+/// `ops`. Returns false (with `ops` holding the valid prefix) on any
+/// malformed record.
+fn decode_checkpoint(payload: &[u8], ops: &mut Vec<Op>) -> bool {
+    let Some(count_bytes) = payload.get(..4) else {
+        return payload.is_empty();
+    };
+    let count = u32::from_le_bytes(count_bytes.try_into().expect("4 bytes")) as usize;
+    let mut at = 4;
+    for _ in 0..count {
+        match Op::decode(payload, &mut at) {
+            Some(op) => ops.push(op),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Applies one WAL event record to `ops`. Returns false on any malformed
+/// or out-of-range record, leaving `ops` at the last consistent state.
+fn apply_event(payload: &[u8], ops: &mut Vec<Op>) -> bool {
+    let Some((&tag, rest)) = payload.split_first() else {
+        return false;
+    };
+    match tag {
+        event_wire::APPEND => {
+            let mut at = 0;
+            match Op::decode(rest, &mut at) {
+                Some(op) if at == rest.len() => {
+                    ops.push(op);
+                    true
+                }
+                _ => false,
+            }
+        }
+        event_wire::ROLLBACK_GUESS | event_wire::ROLLBACK_RECEIVE | event_wire::ROLLBACK_BEFORE => {
+            let Some(idx_bytes) = rest.get(..4) else {
+                return false;
+            };
+            if rest.len() != 4 {
+                return false;
+            }
+            let idx = u32::from_le_bytes(idx_bytes.try_into().expect("4 bytes")) as usize;
+            match tag {
+                event_wire::ROLLBACK_GUESS => apply_rollback_guess(ops, idx),
+                _ => {
+                    if idx > ops.len() {
+                        return false;
+                    }
+                    ops.truncate(idx);
+                    true
+                }
+            }
+        }
+        _ => false,
+    }
+}
+
+/// A cloneable, lockable handle to one process's [`DurableStore`],
+/// implementing the [`ReplayLog`](crate::replay::ReplayLog) sink/source
+/// traits. Lock ordering: the HOPElib lock is always taken before the
+/// store lock, never the reverse.
+#[derive(Debug, Clone)]
+pub struct StoreHandle(Arc<Mutex<DurableStore>>);
+
+impl StoreHandle {
+    /// Wraps a store in a shared handle.
+    pub fn new(store: DurableStore) -> Self {
+        StoreHandle(Arc::new(Mutex::new(store)))
+    }
+
+    /// Frontier notification (see [`DurableStore::on_frontier`]).
+    pub fn on_frontier(&self) {
+        self.0.lock().on_frontier();
+    }
+
+    /// Crash notification (see [`DurableStore::note_crash`]).
+    pub fn note_crash(&self, definite_floor: usize) {
+        self.0.lock().note_crash(definite_floor);
+    }
+
+    /// Restart notification (see [`DurableStore::mark_restarted`]).
+    pub fn mark_restarted(&self) {
+        self.0.lock().mark_restarted();
+    }
+
+    /// Takes the pending post-crash recovery, if any (see
+    /// [`DurableStore::take_recovery`]).
+    pub fn take_recovery(&self) -> Option<Vec<Op>> {
+        self.0.lock().take_recovery()
+    }
+
+    /// Aggregate counters for this store.
+    pub fn snapshot(&self) -> DurableSnapshot {
+        self.0.lock().snapshot()
+    }
+
+    /// Live WAL segments right now.
+    pub fn live_segments(&self) -> usize {
+        self.0.lock().live_segments()
+    }
+}
+
+impl LogSink for StoreHandle {
+    fn append(&mut self, op: &Op) {
+        self.0.lock().append(op);
+    }
+    fn rollback_to_guess(&mut self, op_index: usize) {
+        self.0.lock().rollback_to_guess(op_index);
+    }
+    fn rollback_to_receive(&mut self, op_index: usize) {
+        self.0.lock().rollback_to_receive(op_index);
+    }
+    fn rollback_before(&mut self, op_index: usize) {
+        self.0.lock().rollback_before(op_index);
+    }
+}
+
+impl LogSource for StoreHandle {
+    fn recover(&mut self) -> Option<Vec<Op>> {
+        self.0.lock().take_recovery()
+    }
+}
+
+/// One environment's collection of durable stores: created lazily per
+/// user process, persistent across that process's crashes (the WAL *is*
+/// the disk — it survives the process).
+#[derive(Debug)]
+pub struct StoreRegistry {
+    config: DurableConfig,
+    faults: Option<StorageFaultPlan>,
+    seed: u64,
+    stores: Mutex<Vec<(ProcessId, StoreHandle)>>,
+}
+
+impl StoreRegistry {
+    /// A registry handing out stores configured with `config`; `faults`
+    /// seeds crash-image storage faults, `seed` derives per-process fault
+    /// streams.
+    pub fn new(config: DurableConfig, faults: Option<StorageFaultPlan>, seed: u64) -> Self {
+        StoreRegistry {
+            config,
+            faults,
+            seed,
+            stores: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The store for `pid`, creating it on first open. A restarting
+    /// process gets the *same* store back — its disk survived the crash.
+    pub fn open(&self, pid: ProcessId) -> StoreHandle {
+        let mut stores = self.stores.lock();
+        if let Some((_, handle)) = stores.iter().find(|(p, _)| *p == pid) {
+            return handle.clone();
+        }
+        let handle = StoreHandle::new(DurableStore::new(
+            pid,
+            self.config,
+            self.faults.as_ref(),
+            self.seed,
+        ));
+        stores.push((pid, handle.clone()));
+        handle
+    }
+
+    /// The store for `pid`, if one was opened.
+    pub fn get(&self, pid: ProcessId) -> Option<StoreHandle> {
+        self.stores
+            .lock()
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, h)| h.clone())
+    }
+
+    /// Aggregates every store's counters: sums, except
+    /// `max_live_segments` which is the maximum over stores.
+    pub fn snapshot(&self) -> DurableSnapshot {
+        let stores = self.stores.lock();
+        let mut agg = DurableSnapshot::default();
+        for (_, handle) in stores.iter() {
+            let s = handle.snapshot();
+            agg.store.events += s.store.events;
+            agg.store.checkpoints += s.store.checkpoints;
+            agg.store.syncs += s.store.syncs;
+            agg.store.rotations += s.store.rotations;
+            agg.store.gc_segments += s.store.gc_segments;
+            agg.store.max_live_segments =
+                agg.store.max_live_segments.max(s.store.max_live_segments);
+            agg.store.recoveries += s.store.recoveries;
+            agg.store.corrupt_recoveries += s.store.corrupt_recoveries;
+            agg.recovered_ops += s.recovered_ops;
+            agg.frontier_violations += s.frontier_violations;
+            agg.faults_injected += s.faults_injected;
+            agg.decode_stops += s.decode_stops;
+        }
+        agg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_types::AidId;
+
+    fn pid(n: u64) -> ProcessId {
+        ProcessId::from_raw(n)
+    }
+
+    fn aid(n: u64) -> AidId {
+        AidId::from_raw(pid(n))
+    }
+
+    fn store() -> DurableStore {
+        DurableStore::new(pid(1), DurableConfig::default(), None, 42)
+    }
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::AidInit { aid: aid(9) },
+            Op::Guess {
+                aid: aid(9),
+                outcome: true,
+            },
+            Op::Send {
+                dst: pid(2),
+                channel: 0,
+            },
+            Op::Random { value: 7 },
+        ]
+    }
+
+    #[test]
+    fn crash_and_recover_round_trips_appends() {
+        let mut s = store();
+        for op in sample_ops() {
+            s.append(&op);
+        }
+        s.note_crash(0);
+        s.mark_restarted();
+        let recovered = s.take_recovery().expect("pending recovery");
+        assert_eq!(recovered, sample_ops());
+        assert!(s.take_recovery().is_none(), "recovery hands off once");
+    }
+
+    #[test]
+    fn visible_policy_leaves_local_ops_at_risk_only() {
+        let mut s = store();
+        s.append(&Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
+        // Local-only ops do not sync.
+        s.append(&Op::Random { value: 1 });
+        s.append(&Op::Now {
+            value: hope_types::VirtualTime::from_nanos(5),
+        });
+        // A lost sync window may drop them — but never the visible send.
+        let mut lossy = DurableStore::new(
+            pid(1),
+            DurableConfig::default(),
+            Some(&StorageFaultPlan::default().lost_sync_window(1.0)),
+            7,
+        );
+        lossy.append(&Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
+        lossy.append(&Op::Random { value: 1 });
+        lossy.note_crash(1);
+        lossy.mark_restarted();
+        let recovered = lossy.take_recovery().unwrap();
+        assert_eq!(
+            recovered,
+            vec![Op::Send {
+                dst: pid(2),
+                channel: 0,
+            }],
+            "visible op survives, local tail re-draws"
+        );
+        assert_eq!(lossy.snapshot().frontier_violations, 0);
+    }
+
+    #[test]
+    fn rollback_events_replay_during_recovery() {
+        let mut s = store();
+        s.append(&Op::AidInit { aid: aid(9) });
+        s.append(&Op::Guess {
+            aid: aid(9),
+            outcome: true,
+        });
+        s.append(&Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
+        s.rollback_to_guess(1);
+        s.note_crash(0);
+        s.mark_restarted();
+        let recovered = s.take_recovery().unwrap();
+        assert_eq!(
+            recovered,
+            vec![
+                Op::AidInit { aid: aid(9) },
+                Op::Guess {
+                    aid: aid(9),
+                    outcome: false,
+                },
+            ],
+            "the flipped guess and nothing after it"
+        );
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_anchors_recovery() {
+        let mut s = DurableStore::new(
+            pid(1),
+            DurableConfig {
+                segment_bytes: 64,
+                checkpoint_every: 4,
+                sync_policy: SyncPolicy::Visible,
+            },
+            None,
+            42,
+        );
+        for i in 0..16 {
+            s.append(&Op::Random { value: i });
+            s.append(&Op::Barrier);
+            s.on_frontier();
+        }
+        let stats = s.stats();
+        assert!(stats.checkpoints >= 2, "checkpoint cadence ran: {stats:?}");
+        assert!(stats.gc_segments >= 1, "GC compacted segments: {stats:?}");
+        s.note_crash(0);
+        s.mark_restarted();
+        let recovered = s.take_recovery().unwrap();
+        assert_eq!(recovered.len(), 32, "checkpoint + tail reconstruct all ops");
+        assert_eq!(recovered[0], Op::Random { value: 0 });
+        assert_eq!(recovered[31], Op::Barrier);
+    }
+
+    #[test]
+    fn frontier_violation_is_counted_when_floor_unmet() {
+        // OnFrontier policy with no sync: a lost sync window wipes
+        // everything, so a non-zero floor is violated.
+        let mut s = DurableStore::new(
+            pid(1),
+            DurableConfig {
+                sync_policy: SyncPolicy::OnFrontier,
+                ..DurableConfig::default()
+            },
+            Some(&StorageFaultPlan::default().lost_sync_window(1.0)),
+            3,
+        );
+        s.append(&Op::Send {
+            dst: pid(2),
+            channel: 0,
+        });
+        s.note_crash(1);
+        s.mark_restarted();
+        let recovered = s.take_recovery().unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(s.snapshot().frontier_violations, 1);
+    }
+
+    #[test]
+    fn bit_flip_recovery_never_panics_and_keeps_prefix() {
+        for seed in 0..32 {
+            let mut s = DurableStore::new(
+                pid(1),
+                DurableConfig::default(),
+                Some(&StorageFaultPlan::default().bit_flip(1.0)),
+                seed,
+            );
+            s.append(&Op::Send {
+                dst: pid(2),
+                channel: 0,
+            });
+            for i in 0..5 {
+                s.append(&Op::Random { value: i });
+            }
+            s.note_crash(1);
+            s.mark_restarted();
+            let recovered = s.take_recovery().unwrap();
+            assert!(
+                !recovered.is_empty(),
+                "synced visible prefix survives a tail flip"
+            );
+            assert_eq!(
+                recovered[0],
+                Op::Send {
+                    dst: pid(2),
+                    channel: 0,
+                }
+            );
+            assert_eq!(s.snapshot().frontier_violations, 0);
+        }
+    }
+
+    #[test]
+    fn registry_reuses_stores_across_restarts() {
+        let reg = StoreRegistry::new(DurableConfig::default(), None, 11);
+        let mut h1 = reg.open(pid(4));
+        LogSink::append(&mut h1, &Op::Barrier);
+        let h2 = reg.open(pid(4));
+        h2.note_crash(0);
+        h2.mark_restarted();
+        let mut h3 = reg.open(pid(4));
+        let recovered = LogSource::recover(&mut h3).expect("same store, same disk");
+        assert_eq!(recovered, vec![Op::Barrier]);
+        assert!(reg.get(pid(5)).is_none());
+        assert_eq!(reg.snapshot().store.recoveries, 1);
+    }
+
+    #[test]
+    fn apply_event_rejects_garbage_without_panicking() {
+        let mut ops = vec![Op::Barrier];
+        assert!(!apply_event(&[], &mut ops));
+        assert!(!apply_event(&[99, 0, 0, 0, 0], &mut ops));
+        assert!(!apply_event(&[event_wire::ROLLBACK_GUESS, 1], &mut ops));
+        // Out-of-range rollback index.
+        assert!(!apply_event(
+            &[event_wire::ROLLBACK_BEFORE, 200, 0, 0, 0],
+            &mut ops
+        ));
+        // Trailing bytes after a valid op are malformed.
+        let mut appended = vec![event_wire::APPEND];
+        appended.extend_from_slice(&Op::Barrier.encode());
+        appended.push(0xFF);
+        assert!(!apply_event(&appended, &mut ops));
+        assert_eq!(ops, vec![Op::Barrier], "ops untouched by rejected events");
+    }
+}

@@ -13,10 +13,11 @@ use hope_types::{ProcessId, VirtualTime};
 
 use crate::config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
 use crate::ctx::{ProcessCtx, RollbackSignal, ShutdownSignal};
+use crate::durable::{DurableConfig, DurableSnapshot, StoreRegistry};
 use crate::hopelib::{LibControl, LibState};
 use crate::interval::IntervalOrigin;
 use crate::metrics::{HopeMetrics, MetricsSnapshot};
-use crate::replay::ReplayLog;
+use crate::replay::{Op, ReplayLog};
 
 /// A HOPE user-process body: called with a fresh context on first execution
 /// and on every rollback-driven re-execution (hence `Fn`, not `FnOnce`).
@@ -35,13 +36,14 @@ pub(crate) type UserProcessParts = (
 pub(crate) fn make_user_process(
     config: HopeConfig,
     metrics: Arc<HopeMetrics>,
+    registry: Option<Arc<StoreRegistry>>,
     body: UserBody,
 ) -> UserProcessParts {
     let lib = Arc::new(Mutex::new(LibState::new(config, metrics.clone())));
     let control = Box::new(LibControl::new(lib.clone()));
     let runner_lib = lib.clone();
     let runner = Box::new(move |sys: &mut dyn SysApi| {
-        run_user_body(sys, &runner_lib, metrics, body);
+        run_user_body(sys, &runner_lib, metrics, registry, body);
     });
     (lib, control, runner)
 }
@@ -81,11 +83,19 @@ fn run_user_body(
     sys: &mut dyn SysApi,
     lib: &Arc<Mutex<LibState>>,
     metrics: Arc<HopeMetrics>,
+    registry: Option<Arc<StoreRegistry>>,
     body: UserBody,
 ) {
     install_silent_signal_hook();
     lib.lock().bind(sys.pid());
     let mut log = ReplayLog::new(sys.pid());
+    if let Some(registry) = registry {
+        // Open (or re-open) this process's durable store and mirror every
+        // op-log mutation into it (DESIGN.md S6).
+        let store = registry.open(sys.pid());
+        lib.lock().attach_store(store.clone(), registry);
+        log.set_sink(Box::new(store));
+    }
     loop {
         let outcome = {
             let mut ctx = ProcessCtx::new(sys, lib, &mut log, metrics.clone());
@@ -153,7 +163,17 @@ fn perform_rollback(
     log: &mut ReplayLog,
     metrics: &Arc<HopeMetrics>,
 ) -> bool {
-    let (discarded, cause, guess_policy) = {
+    // Post-crash recovery: rebuild the op log from the durable store
+    // before unwinding. The in-memory log conveniently survived the crash
+    // in these runtimes; a real process image would not, so when storage
+    // is configured the store's recovered prefix is authoritative (S6).
+    let store = lib.lock().store().cloned();
+    if let Some(store) = &store {
+        if let Some(ops) = store.take_recovery() {
+            log.reset_ops(ops);
+        }
+    }
+    let (discarded, cause, crash_recovery, guess_policy) = {
         let mut state = lib.lock();
         let Some(pending) = state.pending_rollback.take() else {
             // Spurious wakeup: continue re-execution anyway (the log is
@@ -184,7 +204,7 @@ fn perform_rollback(
                 }
             }
         }
-        (discarded, pending.cause, guess_policy)
+        (discarded, pending.cause, pending.crash, guess_policy)
     };
     if discarded.is_empty() {
         log.rewind();
@@ -205,7 +225,35 @@ fn perform_rollback(
         None => true,
     };
     let paper_semantics = guess_policy == GuessRollbackPolicy::ReturnFalse;
+    // After a store recovery the log may be shorter than the history
+    // remembers (permissive sync policies can lose an unsynced suffix).
+    // A boundary op that did not survive has nothing to truncate: the
+    // whole recovered prefix replays and the boundary primitive runs
+    // live again.
+    let boundary_survived = |op: usize, want_guess: bool| match log.ops().get(op) {
+        Some(Op::Guess { .. }) => want_guess,
+        Some(Op::Receive { .. }) | Some(Op::TryReceive { .. }) => !want_guess,
+        _ => false,
+    };
     let removed = match boundary.origin {
+        IntervalOrigin::ExplicitGuess { op } if !boundary_survived(op, true) => {
+            log.rewind();
+            Vec::new()
+        }
+        IntervalOrigin::ImplicitReceive { op } if !boundary_survived(op, false) => {
+            log.rewind();
+            Vec::new()
+        }
+        // A crash dooms speculative intervals without failing any
+        // assumption: re-issue the boundary primitive live. The guess
+        // must not resolve false (the AID may well be affirmed), and the
+        // boundary message must be restored rather than discarded — its
+        // sender never rolled back, so nobody would re-send it.
+        IntervalOrigin::ExplicitGuess { op } | IntervalOrigin::ImplicitReceive { op }
+            if crash_recovery =>
+        {
+            log.rollback_before(op)
+        }
         IntervalOrigin::ExplicitGuess { op } => {
             if own_assumption_died || paper_semantics {
                 log.rollback_to_guess(op)
@@ -268,6 +316,7 @@ pub struct HopeEnvBuilder {
     max_events: u64,
     trace_capacity: usize,
     faults: Option<FaultPlan>,
+    durable: Option<DurableConfig>,
 }
 
 impl Default for HopeEnvBuilder {
@@ -279,6 +328,7 @@ impl Default for HopeEnvBuilder {
             max_events: 50_000_000,
             trace_capacity: 0,
             faults: None,
+            durable: None,
         }
     }
 }
@@ -347,6 +397,16 @@ impl HopeEnvBuilder {
         self
     }
 
+    /// Gives every user process a durable op-log store (segmented WAL +
+    /// checkpoints, DESIGN.md S6): crash recovery replays from storage
+    /// instead of the surviving in-memory log, exercising the recovery
+    /// path against the storage faults configured in
+    /// [`FaultPlan::storage`](hope_runtime::FaultPlan::storage).
+    pub fn durable(mut self, config: DurableConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Builds the environment.
     pub fn build(self) -> HopeEnv {
         let mut builder = SimRuntime::builder()
@@ -354,14 +414,22 @@ impl HopeEnvBuilder {
             .network(self.network)
             .max_events(self.max_events)
             .trace(self.trace_capacity);
+        let storage = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.storage_plan().copied());
         if let Some(plan) = self.faults {
             builder = builder.faults(plan);
         }
+        let registry = self
+            .durable
+            .map(|config| Arc::new(StoreRegistry::new(config, storage, self.seed)));
         HopeEnv {
             rt: builder.build(),
             config: self.config,
             metrics: Arc::new(HopeMetrics::new()),
             libs: Vec::new(),
+            registry,
         }
     }
 }
@@ -373,6 +441,7 @@ pub struct HopeEnv {
     config: HopeConfig,
     metrics: Arc<HopeMetrics>,
     libs: Vec<(ProcessId, String, Arc<Mutex<LibState>>)>,
+    registry: Option<Arc<StoreRegistry>>,
 }
 
 /// Outcome of [`HopeEnv::run`].
@@ -408,11 +477,21 @@ impl HopeEnv {
     where
         F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
     {
-        let (lib, control, runner) =
-            make_user_process(self.config, self.metrics.clone(), Box::new(body));
+        let (lib, control, runner) = make_user_process(
+            self.config,
+            self.metrics.clone(),
+            self.registry.clone(),
+            Box::new(body),
+        );
         let pid = self.rt.spawn_threaded(name, Some(control), runner);
         self.libs.push((pid, name.to_string(), lib));
         pid
+    }
+
+    /// Aggregate durable-store counters, when the environment was built
+    /// with [`durable`](HopeEnvBuilder::durable) storage.
+    pub fn store_stats(&self) -> Option<DurableSnapshot> {
+        self.registry.as_ref().map(|r| r.snapshot())
     }
 
     /// A snapshot of a process's interval history (processes spawned via

@@ -18,6 +18,7 @@ use hope_runtime::{ControlApi, ControlHandler};
 use parking_lot::Mutex;
 
 use crate::config::HopeConfig;
+use crate::durable::{StoreHandle, StoreRegistry};
 use crate::interval::History;
 use crate::metrics::HopeMetrics;
 
@@ -29,6 +30,23 @@ pub struct PendingRollback {
     pub floor: u32,
     /// The denied assumption that triggered it, when the AID said so.
     pub cause: Option<hope_types::AidId>,
+    /// True when the rollback recovers from a crash rather than a deny:
+    /// no assumption failed, so the boundary primitive is re-issued live
+    /// instead of resolving false, and the boundary message is restored
+    /// instead of discarded (its sender never rolled back to re-send it).
+    pub crash: bool,
+}
+
+/// Merges a newly raised rollback into any already-pending one: the lowest
+/// doomed interval wins, and at equal floors a deny wins over a crash (the
+/// deny carries the failed assumption the boundary must resolve against).
+fn merge_pending(cur: Option<PendingRollback>, incoming: PendingRollback) -> PendingRollback {
+    match cur {
+        None => incoming,
+        Some(cur) if incoming.floor < cur.floor => incoming,
+        Some(cur) if incoming.floor == cur.floor && cur.crash && !incoming.crash => incoming,
+        Some(cur) => cur,
+    }
 }
 
 /// The bookkeeping state of one user process's HOPElib: its interval
@@ -47,6 +65,11 @@ pub struct LibState {
     pub pending_rollback: Option<PendingRollback>,
     config: HopeConfig,
     metrics: Arc<HopeMetrics>,
+    /// This process's durable op-log store, when the environment was
+    /// built with [`durable`](crate::HopeEnvBuilder::durable) storage.
+    store: Option<StoreHandle>,
+    /// The environment's store registry, inherited by spawned children.
+    registry: Option<Arc<StoreRegistry>>,
 }
 
 impl LibState {
@@ -61,7 +84,41 @@ impl LibState {
             pending_rollback: None,
             config,
             metrics,
+            store: None,
+            registry: None,
         }
+    }
+
+    /// Attaches the durable store and the registry children inherit.
+    pub fn attach_store(&mut self, store: StoreHandle, registry: Arc<StoreRegistry>) {
+        self.store = Some(store);
+        self.registry = Some(registry);
+    }
+
+    /// This process's durable store, if storage is configured.
+    pub fn store(&self) -> Option<&StoreHandle> {
+        self.store.as_ref()
+    }
+
+    /// The environment's store registry, if storage is configured.
+    pub fn registry(&self) -> Option<&Arc<StoreRegistry>> {
+        self.registry.as_ref()
+    }
+
+    /// The operation-log index up to which this process's history is
+    /// definite: the origin op of the first speculative interval, or
+    /// `None` when the whole history is definite. This is the Theorem 5.1
+    /// floor a post-crash recovery must reach.
+    pub fn definite_floor_op(&self) -> Option<usize> {
+        self.history
+            .intervals()
+            .iter()
+            .find(|rec| !rec.definite)
+            .map(|rec| match rec.origin {
+                crate::interval::IntervalOrigin::ExplicitGuess { op } => op,
+                crate::interval::IntervalOrigin::ImplicitReceive { op } => op,
+                crate::interval::IntervalOrigin::Root => 0,
+            })
     }
 
     /// Binds the state to its process (idempotent).
@@ -124,12 +181,9 @@ impl LibState {
                 let incoming = PendingRollback {
                     floor: iid.index(),
                     cause,
+                    crash: false,
                 };
-                self.pending_rollback = Some(match self.pending_rollback {
-                    None => incoming,
-                    Some(cur) if incoming.floor < cur.floor => incoming,
-                    Some(cur) => cur,
-                });
+                self.pending_rollback = Some(merge_pending(self.pending_rollback, incoming));
                 api.wake();
             }
         }
@@ -195,12 +249,12 @@ impl LibState {
         let Some(floor) = floor else {
             return false; // fully definite: the checkpoint is current
         };
-        let incoming = PendingRollback { floor, cause: None };
-        self.pending_rollback = Some(match self.pending_rollback {
-            None => incoming,
-            Some(cur) if incoming.floor < cur.floor => incoming,
-            Some(cur) => cur,
-        });
+        let incoming = PendingRollback {
+            floor,
+            cause: None,
+            crash: true,
+        };
+        self.pending_rollback = Some(merge_pending(self.pending_rollback, incoming));
         self.metrics
             .crash_recoveries
             .fetch_add(1, Ordering::Relaxed);
@@ -216,6 +270,11 @@ impl LibState {
         let done = self.history.finalize_ready(floor);
         if done.is_empty() {
             return;
+        }
+        if let Some(store) = &self.store {
+            // The frontier advanced: make the op log durable up to here
+            // and let the store checkpoint + GC dead segments.
+            store.on_frontier();
         }
         self.metrics
             .finalized_intervals
@@ -256,8 +315,25 @@ impl ControlHandler for LibControl {
         self.lib.lock().handle_control(src, msg, api);
     }
 
+    fn on_crash(&mut self, _api: &mut dyn ControlApi) {
+        // The crash destroys the WAL's unsynced tail (possibly with an
+        // injected storage fault) and records the definite frontier the
+        // recovery will be audited against.
+        let lib = self.lib.lock();
+        if let Some(store) = lib.store() {
+            store.note_crash(lib.definite_floor_op().unwrap_or(0));
+        }
+    }
+
     fn on_restart(&mut self, api: &mut dyn ControlApi) {
-        self.lib.lock().begin_crash_recovery(api);
+        let mut lib = self.lib.lock();
+        if lib.begin_crash_recovery(api) {
+            if let Some(store) = lib.store() {
+                // The rollback that recovery triggers will rebuild the op
+                // log from storage instead of trusting the in-memory copy.
+                store.mark_restarted();
+            }
+        }
     }
 }
 
@@ -325,7 +401,8 @@ mod tests {
             lib.pending_rollback,
             Some(PendingRollback {
                 floor: iid.index(),
-                cause: Some(AidId::from_raw(aid(1).process()))
+                cause: Some(AidId::from_raw(aid(1).process())),
+                crash: false
             })
         );
         assert_eq!(api.wakes, 1);
@@ -585,7 +662,8 @@ mod tests {
             lib.pending_rollback,
             Some(PendingRollback {
                 floor: a.index(),
-                cause: None
+                cause: None,
+                crash: true
             }),
             "recovery rolls back to the first speculative interval"
         );

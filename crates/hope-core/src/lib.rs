@@ -66,6 +66,7 @@
 pub mod aid;
 pub mod config;
 pub mod ctx;
+pub mod durable;
 pub mod env;
 pub mod hopelib;
 pub mod interval;
@@ -76,9 +77,12 @@ pub mod threaded_env;
 pub use aid::{AidActor, AidMachine, AidState};
 pub use config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
 pub use ctx::{Delivery, ProcessCtx};
+pub use durable::{
+    DurableConfig, DurableSnapshot, DurableStore, StoreHandle, StoreRegistry, SyncPolicy,
+};
 pub use env::{HopeEnv, HopeEnvBuilder, HopeReport};
 pub use hopelib::{LibControl, LibState, PendingRollback};
 pub use interval::{History, IntervalOrigin, IntervalRecord};
 pub use metrics::{HopeMetrics, MetricsSnapshot};
-pub use replay::{Op, ReplayLog};
+pub use replay::{LogSink, LogSource, Op, ReplayLog};
 pub use threaded_env::{ThreadedHopeEnv, ThreadedHopeEnvBuilder};

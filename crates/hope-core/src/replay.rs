@@ -25,7 +25,8 @@
 //! randomness, and communication through the context precisely so that
 //! this holds).
 
-use hope_types::{AidId, HopeError, ProcessId, UserMessage, VirtualDuration, VirtualTime};
+use bytes::Bytes;
+use hope_types::{AidId, DepTag, HopeError, ProcessId, UserMessage, VirtualDuration, VirtualTime};
 
 /// One logged interaction between the user closure and the world.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,6 +117,94 @@ pub enum Op {
     },
 }
 
+/// Wire-format tags for [`Op::encode`].
+mod op_wire {
+    pub const AID_INIT: u8 = 1;
+    pub const AID_RETAIN: u8 = 2;
+    pub const AID_RELEASE: u8 = 3;
+    pub const GUESS: u8 = 4;
+    pub const AFFIRM: u8 = 5;
+    pub const DENY: u8 = 6;
+    pub const FREE_OF: u8 = 7;
+    pub const SEND: u8 = 8;
+    pub const RECEIVE: u8 = 9;
+    pub const TRY_RECEIVE: u8 = 10;
+    pub const COMPUTE: u8 = 11;
+    pub const NOW: u8 = 12;
+    pub const RANDOM: u8 = 13;
+    pub const BARRIER: u8 = 14;
+    pub const SPAWN_USER: u8 = 15;
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u8(buf: &[u8], at: &mut usize) -> Option<u8> {
+    let b = *buf.get(*at)?;
+    *at += 1;
+    Some(b)
+}
+
+fn read_u32(buf: &[u8], at: &mut usize) -> Option<u32> {
+    let bytes = buf.get(*at..*at + 4)?;
+    *at += 4;
+    Some(u32::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn read_u64(buf: &[u8], at: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*at..*at + 8)?;
+    *at += 8;
+    Some(u64::from_le_bytes(bytes.try_into().ok()?))
+}
+
+fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+fn read_bool(buf: &[u8], at: &mut usize) -> Option<bool> {
+    match read_u8(buf, at)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn put_aid(buf: &mut Vec<u8>, aid: AidId) {
+    put_u64(buf, aid.process().as_raw());
+}
+
+fn read_aid(buf: &[u8], at: &mut usize) -> Option<AidId> {
+    Some(AidId::from_raw(ProcessId::from_raw(read_u64(buf, at)?)))
+}
+
+fn put_msg(buf: &mut Vec<u8>, msg: &UserMessage) {
+    put_u32(buf, msg.channel);
+    put_u32(buf, msg.data.len() as u32);
+    buf.extend_from_slice(&msg.data);
+    put_u32(buf, msg.tag.len() as u32);
+    for &aid in msg.tag.iter() {
+        put_aid(buf, aid);
+    }
+}
+
+fn read_msg(buf: &[u8], at: &mut usize) -> Option<UserMessage> {
+    let channel = read_u32(buf, at)?;
+    let n = read_u32(buf, at)? as usize;
+    let data = Bytes::copy_from_slice(buf.get(*at..at.checked_add(n)?)?);
+    *at += n;
+    let tags = read_u32(buf, at)? as usize;
+    let mut tag = DepTag::new();
+    for _ in 0..tags {
+        tag.insert(read_aid(buf, at)?);
+    }
+    Some(UserMessage::tagged(channel, data, tag))
+}
+
 impl Op {
     /// Short label for divergence diagnostics.
     pub fn label(&self) -> &'static str {
@@ -137,6 +226,176 @@ impl Op {
             Op::SpawnUser { .. } => "SpawnUser",
         }
     }
+
+    /// Serializes this op to a self-describing little-endian byte string
+    /// (the durable-store event payload; substitution S6 in DESIGN.md).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Op::AidInit { aid } => {
+                buf.push(op_wire::AID_INIT);
+                put_aid(&mut buf, *aid);
+            }
+            Op::AidRetain { aid } => {
+                buf.push(op_wire::AID_RETAIN);
+                put_aid(&mut buf, *aid);
+            }
+            Op::AidRelease { aid } => {
+                buf.push(op_wire::AID_RELEASE);
+                put_aid(&mut buf, *aid);
+            }
+            Op::Guess { aid, outcome } => {
+                buf.push(op_wire::GUESS);
+                put_aid(&mut buf, *aid);
+                put_bool(&mut buf, *outcome);
+            }
+            Op::Affirm { aid } => {
+                buf.push(op_wire::AFFIRM);
+                put_aid(&mut buf, *aid);
+            }
+            Op::Deny { aid } => {
+                buf.push(op_wire::DENY);
+                put_aid(&mut buf, *aid);
+            }
+            Op::FreeOf { aid, outcome } => {
+                buf.push(op_wire::FREE_OF);
+                put_aid(&mut buf, *aid);
+                put_bool(&mut buf, *outcome);
+            }
+            Op::Send { dst, channel } => {
+                buf.push(op_wire::SEND);
+                put_u64(&mut buf, dst.as_raw());
+                put_u32(&mut buf, *channel);
+            }
+            Op::Receive { src, msg } => {
+                buf.push(op_wire::RECEIVE);
+                put_u64(&mut buf, src.as_raw());
+                put_msg(&mut buf, msg);
+            }
+            Op::TryReceive { result } => {
+                buf.push(op_wire::TRY_RECEIVE);
+                match result {
+                    None => put_bool(&mut buf, false),
+                    Some((src, msg)) => {
+                        put_bool(&mut buf, true);
+                        put_u64(&mut buf, src.as_raw());
+                        put_msg(&mut buf, msg);
+                    }
+                }
+            }
+            Op::Compute { dur } => {
+                buf.push(op_wire::COMPUTE);
+                put_u64(&mut buf, dur.as_nanos());
+            }
+            Op::Now { value } => {
+                buf.push(op_wire::NOW);
+                put_u64(&mut buf, value.as_nanos());
+            }
+            Op::Random { value } => {
+                buf.push(op_wire::RANDOM);
+                put_u64(&mut buf, *value);
+            }
+            Op::Barrier => buf.push(op_wire::BARRIER),
+            Op::SpawnUser { pid } => {
+                buf.push(op_wire::SPAWN_USER);
+                put_u64(&mut buf, pid.as_raw());
+            }
+        }
+        buf
+    }
+
+    /// Deserializes one op from `buf` starting at `*at`, advancing `*at`
+    /// past it. Returns `None` on any malformed input — truncated fields,
+    /// unknown tags, non-boolean booleans — without panicking, so recovery
+    /// can treat a failed decode as the end of the valid prefix.
+    pub fn decode(buf: &[u8], at: &mut usize) -> Option<Op> {
+        let start = *at;
+        let op = match read_u8(buf, at)? {
+            op_wire::AID_INIT => Op::AidInit {
+                aid: read_aid(buf, at)?,
+            },
+            op_wire::AID_RETAIN => Op::AidRetain {
+                aid: read_aid(buf, at)?,
+            },
+            op_wire::AID_RELEASE => Op::AidRelease {
+                aid: read_aid(buf, at)?,
+            },
+            op_wire::GUESS => Op::Guess {
+                aid: read_aid(buf, at)?,
+                outcome: read_bool(buf, at)?,
+            },
+            op_wire::AFFIRM => Op::Affirm {
+                aid: read_aid(buf, at)?,
+            },
+            op_wire::DENY => Op::Deny {
+                aid: read_aid(buf, at)?,
+            },
+            op_wire::FREE_OF => Op::FreeOf {
+                aid: read_aid(buf, at)?,
+                outcome: read_bool(buf, at)?,
+            },
+            op_wire::SEND => Op::Send {
+                dst: ProcessId::from_raw(read_u64(buf, at)?),
+                channel: read_u32(buf, at)?,
+            },
+            op_wire::RECEIVE => Op::Receive {
+                src: ProcessId::from_raw(read_u64(buf, at)?),
+                msg: read_msg(buf, at)?,
+            },
+            op_wire::TRY_RECEIVE => Op::TryReceive {
+                result: if read_bool(buf, at)? {
+                    Some((ProcessId::from_raw(read_u64(buf, at)?), read_msg(buf, at)?))
+                } else {
+                    None
+                },
+            },
+            op_wire::COMPUTE => Op::Compute {
+                dur: VirtualDuration::from_nanos(read_u64(buf, at)?),
+            },
+            op_wire::NOW => Op::Now {
+                value: VirtualTime::from_nanos(read_u64(buf, at)?),
+            },
+            op_wire::RANDOM => Op::Random {
+                value: read_u64(buf, at)?,
+            },
+            op_wire::BARRIER => Op::Barrier,
+            op_wire::SPAWN_USER => Op::SpawnUser {
+                pid: ProcessId::from_raw(read_u64(buf, at)?),
+            },
+            _ => {
+                *at = start;
+                return None;
+            }
+        };
+        Some(op)
+    }
+}
+
+/// Where a [`ReplayLog`]'s mutations are mirrored for durability.
+///
+/// The in-memory log stays authoritative for replay; a sink observes every
+/// append and rollback so a durable store (DESIGN.md S6) can reconstruct
+/// the log after a crash. Sink methods are infallible by design: storage
+/// faults are absorbed by the store and surface at *recovery* time as a
+/// shorter valid prefix, never as an error on the hot path.
+pub trait LogSink: Send {
+    /// A live op was appended.
+    fn append(&mut self, op: &Op);
+    /// [`ReplayLog::rollback_to_guess`] ran against `op_index`.
+    fn rollback_to_guess(&mut self, op_index: usize);
+    /// [`ReplayLog::rollback_to_receive`] ran against `op_index`.
+    fn rollback_to_receive(&mut self, op_index: usize);
+    /// [`ReplayLog::rollback_before`] ran against `op_index`.
+    fn rollback_before(&mut self, op_index: usize);
+}
+
+/// Where a crashed process's op log is reconstructed from.
+///
+/// `recover` returns `Some(ops)` exactly once after a crash — the longest
+/// valid prefix the store could certify — and `None` otherwise.
+pub trait LogSource {
+    /// Takes the pending post-crash recovery, if one is waiting.
+    fn recover(&mut self) -> Option<Vec<Op>>;
 }
 
 /// The operation log of one user process, with a replay cursor.
@@ -144,11 +403,22 @@ impl Op {
 /// Live mode (`cursor == len`): operations execute for real and are
 /// appended. Replay mode (`cursor < len`): operations are validated
 /// against the log and their recorded results returned.
-#[derive(Debug)]
 pub struct ReplayLog {
     process: ProcessId,
     ops: Vec<Op>,
     cursor: usize,
+    sink: Option<Box<dyn LogSink>>,
+}
+
+impl std::fmt::Debug for ReplayLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplayLog")
+            .field("process", &self.process)
+            .field("ops", &self.ops)
+            .field("cursor", &self.cursor)
+            .field("sink", &self.sink.as_ref().map(|_| "LogSink"))
+            .finish()
+    }
 }
 
 impl ReplayLog {
@@ -158,7 +428,21 @@ impl ReplayLog {
             process,
             ops: Vec::new(),
             cursor: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches a durability sink that mirrors every subsequent mutation.
+    pub fn set_sink(&mut self, sink: Box<dyn LogSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Replaces the logged ops wholesale (post-crash recovery from a
+    /// durable store) and rewinds the cursor for re-execution. The sink is
+    /// *not* notified: the ops came from it.
+    pub fn reset_ops(&mut self, ops: Vec<Op>) {
+        self.ops = ops;
+        self.cursor = 0;
     }
 
     /// True while re-executing a logged prefix.
@@ -189,6 +473,9 @@ impl ReplayLog {
     /// [`ReplayLog::is_replaying`] first.
     pub fn record(&mut self, op: Op) -> usize {
         debug_assert!(!self.is_replaying(), "record during replay");
+        if let Some(sink) = self.sink.as_mut() {
+            sink.append(&op);
+        }
         self.ops.push(op);
         self.cursor = self.ops.len();
         self.ops.len() - 1
@@ -243,6 +530,9 @@ impl ReplayLog {
             Some(Op::Guess { outcome, .. }) => *outcome = false,
             other => panic!("rollback target is not a Guess op: {other:?}"),
         }
+        if let Some(sink) = self.sink.as_mut() {
+            sink.rollback_to_guess(op_index);
+        }
         self.cursor = 0;
         removed
     }
@@ -268,6 +558,9 @@ impl ReplayLog {
         );
         let removed = self.ops.split_off(op_index + 1);
         self.ops.truncate(op_index);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.rollback_to_receive(op_index);
+        }
         self.cursor = 0;
         removed
     }
@@ -279,6 +572,9 @@ impl ReplayLog {
     /// boundary op.
     pub fn rollback_before(&mut self, op_index: usize) -> Vec<Op> {
         let removed = self.ops.split_off(op_index);
+        if let Some(sink) = self.sink.as_mut() {
+            sink.rollback_before(op_index);
+        }
         self.cursor = 0;
         removed
     }
@@ -412,6 +708,151 @@ mod tests {
             channel: 0,
         });
         log.rollback_to_guess(0);
+    }
+
+    fn all_ops() -> Vec<Op> {
+        let tag: DepTag = [aid(3), aid(9)].into_iter().collect();
+        vec![
+            Op::AidInit { aid: aid(1) },
+            Op::AidRetain { aid: aid(2) },
+            Op::AidRelease { aid: aid(2) },
+            Op::Guess {
+                aid: aid(1),
+                outcome: true,
+            },
+            Op::Guess {
+                aid: aid(1),
+                outcome: false,
+            },
+            Op::Affirm { aid: aid(1) },
+            Op::Deny { aid: aid(4) },
+            Op::FreeOf {
+                aid: aid(4),
+                outcome: false,
+            },
+            Op::Send {
+                dst: pid(7),
+                channel: 42,
+            },
+            Op::Receive {
+                src: pid(8),
+                msg: UserMessage::tagged(5, bytes::Bytes::from_static(b"payload"), tag),
+            },
+            Op::TryReceive { result: None },
+            Op::TryReceive {
+                result: Some((pid(9), UserMessage::new(0, bytes::Bytes::new()))),
+            },
+            Op::Compute {
+                dur: VirtualDuration::from_millis(3),
+            },
+            Op::Now {
+                value: VirtualTime::from_nanos(123_456),
+            },
+            Op::Random { value: u64::MAX },
+            Op::Barrier,
+            Op::SpawnUser { pid: pid(11) },
+        ]
+    }
+
+    #[test]
+    fn op_codec_round_trips_every_variant() {
+        for op in all_ops() {
+            let wire = op.encode();
+            let mut at = 0;
+            let back = Op::decode(&wire, &mut at).expect("decode");
+            assert_eq!(back, op);
+            assert_eq!(at, wire.len(), "decode consumed the whole encoding");
+        }
+    }
+
+    #[test]
+    fn op_codec_round_trips_a_concatenated_stream() {
+        let ops = all_ops();
+        let mut wire = Vec::new();
+        for op in &ops {
+            wire.extend_from_slice(&op.encode());
+        }
+        let mut at = 0;
+        let mut back = Vec::new();
+        while at < wire.len() {
+            back.push(Op::decode(&wire, &mut at).expect("decode"));
+        }
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn op_decode_rejects_truncations_without_panicking() {
+        for op in all_ops() {
+            let wire = op.encode();
+            for cut in 0..wire.len() {
+                let mut at = 0;
+                // Either a clean None, or (for container ops whose prefix
+                // happens to parse) a decode that stops within bounds.
+                if let Some(_parsed) = Op::decode(&wire[..cut], &mut at) {
+                    assert!(at <= cut);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn op_decode_rejects_unknown_tags() {
+        let mut at = 0;
+        assert!(Op::decode(&[0u8, 1, 2, 3], &mut at).is_none());
+        assert_eq!(at, 0, "cursor untouched on failure");
+        let mut at = 0;
+        assert!(Op::decode(&[200u8], &mut at).is_none());
+    }
+
+    struct RecordingSink(std::sync::Arc<parking_lot::Mutex<Vec<String>>>);
+
+    impl LogSink for RecordingSink {
+        fn append(&mut self, op: &Op) {
+            self.0.lock().push(format!("append:{}", op.label()));
+        }
+        fn rollback_to_guess(&mut self, op_index: usize) {
+            self.0.lock().push(format!("guess:{op_index}"));
+        }
+        fn rollback_to_receive(&mut self, op_index: usize) {
+            self.0.lock().push(format!("receive:{op_index}"));
+        }
+        fn rollback_before(&mut self, op_index: usize) {
+            self.0.lock().push(format!("before:{op_index}"));
+        }
+    }
+
+    #[test]
+    fn sink_mirrors_appends_and_rollbacks() {
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut log = ReplayLog::new(pid(1));
+        log.set_sink(Box::new(RecordingSink(seen.clone())));
+        log.record(Op::AidInit { aid: aid(5) });
+        let g = log.record(Op::Guess {
+            aid: aid(5),
+            outcome: true,
+        });
+        log.record(Op::Barrier);
+        log.rollback_to_guess(g);
+        assert_eq!(
+            *seen.lock(),
+            vec![
+                "append:AidInit",
+                "append:Guess",
+                "append:Barrier",
+                "guess:1"
+            ]
+        );
+    }
+
+    #[test]
+    fn reset_ops_bypasses_the_sink() {
+        let seen = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut log = ReplayLog::new(pid(1));
+        log.set_sink(Box::new(RecordingSink(seen.clone())));
+        log.reset_ops(vec![Op::Barrier, Op::Random { value: 7 }]);
+        assert!(seen.lock().is_empty(), "recovery does not re-emit");
+        assert_eq!(log.len(), 2);
+        assert!(log.is_replaying(), "cursor rewound for re-execution");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use hope_types::ProcessId;
 
 use crate::config::HopeConfig;
 use crate::ctx::ProcessCtx;
+use crate::durable::{DurableConfig, DurableSnapshot, StoreRegistry};
 use crate::env::make_user_process;
 use crate::metrics::{HopeMetrics, MetricsSnapshot};
 
@@ -24,6 +25,7 @@ pub struct ThreadedHopeEnvBuilder {
     network: NetworkConfig,
     config: HopeConfig,
     faults: Option<FaultPlan>,
+    durable: Option<DurableConfig>,
 }
 
 impl Default for ThreadedHopeEnvBuilder {
@@ -33,6 +35,7 @@ impl Default for ThreadedHopeEnvBuilder {
             network: NetworkConfig::local(),
             config: HopeConfig::new(),
             faults: None,
+            durable: None,
         }
     }
 }
@@ -63,18 +66,33 @@ impl ThreadedHopeEnvBuilder {
         self
     }
 
+    /// Gives every user process a durable op-log store (DESIGN.md S6);
+    /// see [`HopeEnvBuilder::durable`](crate::HopeEnvBuilder::durable).
+    pub fn durable(mut self, config: DurableConfig) -> Self {
+        self.durable = Some(config);
+        self
+    }
+
     /// Builds and starts the environment.
     pub fn build(self) -> ThreadedHopeEnv {
         let mut builder = ThreadedRuntime::builder()
             .seed(self.seed)
             .network(self.network);
+        let storage = self
+            .faults
+            .as_ref()
+            .and_then(|plan| plan.storage_plan().copied());
         if let Some(plan) = self.faults {
             builder = builder.faults(plan);
         }
+        let registry = self
+            .durable
+            .map(|config| Arc::new(StoreRegistry::new(config, storage, self.seed)));
         ThreadedHopeEnv {
             rt: builder.build(),
             config: self.config,
             metrics: Arc::new(HopeMetrics::new()),
+            registry,
         }
     }
 }
@@ -85,6 +103,7 @@ pub struct ThreadedHopeEnv {
     rt: ThreadedRuntime,
     config: HopeConfig,
     metrics: Arc<HopeMetrics>,
+    registry: Option<Arc<StoreRegistry>>,
 }
 
 impl ThreadedHopeEnv {
@@ -98,9 +117,19 @@ impl ThreadedHopeEnv {
     where
         F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
     {
-        let (_lib, control, runner) =
-            make_user_process(self.config, self.metrics.clone(), Box::new(body));
+        let (_lib, control, runner) = make_user_process(
+            self.config,
+            self.metrics.clone(),
+            self.registry.clone(),
+            Box::new(body),
+        );
         self.rt.spawn_threaded(name, Some(control), runner)
+    }
+
+    /// Aggregate durable-store counters, when the environment was built
+    /// with [`durable`](ThreadedHopeEnvBuilder::durable) storage.
+    pub fn store_stats(&self) -> Option<DurableSnapshot> {
+        self.registry.as_ref().map(|r| r.snapshot())
     }
 
     /// Waits until the system has been quiescent for `grace` (or

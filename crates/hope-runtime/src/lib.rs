@@ -76,9 +76,9 @@ mod trace;
 
 pub use actor::{Actor, ActorApi, NullActor};
 pub use control::{ControlApi, ControlHandler, NullControl};
-pub use fault::{CrashPoint, FaultModel, FaultPlan, WireFate};
+pub use fault::{CrashPoint, FaultModel, FaultPlan, StorageFaultPlan, WireFate};
 pub use net::{LatencyModel, NetworkConfig};
-pub use reliable::{LinkId, ReliableState};
+pub use reliable::{AckOutcome, LinkId, ReliableState, RttEstimator};
 pub use runtime::{ProcessStatus, RuntimeBuilder, SimRuntime};
 pub use sched::{EventDesc, PendingEvent, SchedulePolicy};
 pub use stats::{LinkStats, MessageStats, PartyKind, RunReport};

@@ -21,6 +21,13 @@
 //!   (but not re-delivering) duplicates, whether they come from wire
 //!   duplication or from retransmission racing a slow ack.
 //!
+//! The retransmission timeout is adaptive: each link runs a
+//! Jacobson/Karels [`RttEstimator`] (SRTT/RTTVAR, RTO = SRTT + 4·RTTVAR,
+//! clamped) fed by ack round-trip samples, with Karn's rule excluding
+//! samples from retransmitted sequence numbers. The configured
+//! [`FaultPlan::rto`](crate::FaultPlan::rto) is only the starting point;
+//! [`backoff_nanos`] then doubles the adapted value per failed attempt.
+//!
 //! The state machine lives here, runtime-agnostic; the virtual-time
 //! simulator and the wall-clock threaded runtime both drive it from their
 //! own schedulers.
@@ -57,22 +64,117 @@ impl SeqWindow {
     }
 }
 
+/// Jacobson/Karels round-trip estimation for one link: smoothed RTT
+/// (gain 1/8), mean deviation RTTVAR (gain 1/4), and
+/// `RTO = SRTT + 4·RTTVAR` clamped to `[initial/8, initial·64]` so a
+/// burst of lucky or pathological samples cannot drive the timer to
+/// zero or to forever. Integer nanoseconds throughout — both runtimes'
+/// clocks are nanosecond-granular and determinism forbids floats here.
+#[derive(Debug, Clone, Copy)]
+pub struct RttEstimator {
+    srtt: u64,
+    rttvar: u64,
+    rto: u64,
+    min: u64,
+    max: u64,
+    samples: u64,
+}
+
+impl RttEstimator {
+    /// An estimator starting at `initial_rto_nanos` with no samples.
+    pub fn new(initial_rto_nanos: u64) -> Self {
+        let initial = initial_rto_nanos.max(1);
+        RttEstimator {
+            srtt: 0,
+            rttvar: 0,
+            rto: initial,
+            min: (initial / 8).max(1),
+            max: initial.saturating_mul(64),
+            samples: 0,
+        }
+    }
+
+    /// Folds one round-trip sample in (Jacobson/Karels update rules).
+    pub fn observe(&mut self, sample_nanos: u64) {
+        if self.samples == 0 {
+            self.srtt = sample_nanos;
+            self.rttvar = sample_nanos / 2;
+        } else {
+            let err = self.srtt.abs_diff(sample_nanos);
+            self.rttvar = (3 * self.rttvar + err) / 4;
+            self.srtt = (7 * self.srtt + sample_nanos) / 8;
+        }
+        self.samples += 1;
+        self.rto = (self.srtt.saturating_add(4 * self.rttvar)).clamp(self.min, self.max);
+    }
+
+    /// The current retransmission timeout in nanoseconds.
+    pub fn rto_nanos(&self) -> u64 {
+        self.rto
+    }
+
+    /// The smoothed round-trip time (0 until the first sample).
+    pub fn srtt_nanos(&self) -> u64 {
+        self.srtt
+    }
+
+    /// Round-trip samples folded in so far.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// The result of processing one acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Whether a pending envelope was retired (false for duplicates).
+    pub retired: bool,
+    /// The round-trip sample taken, if the envelope was never
+    /// retransmitted (Karn's rule: an ack for a retransmitted sequence
+    /// number is ambiguous and must not feed the estimator).
+    pub rtt_sample_nanos: Option<u64>,
+}
+
 /// The shared reliable-delivery state machine for one runtime: sender-side
-/// sequencing and retransmit buffers, receiver-side dedup windows.
+/// sequencing and retransmit buffers, receiver-side dedup windows, and
+/// per-link RTT estimators driving the adaptive retransmission timeout.
 ///
 /// All maps are ordered so iteration (and therefore simulator behaviour)
 /// is deterministic.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ReliableState {
     next_seq: BTreeMap<LinkId, u64>,
     pending: BTreeMap<(LinkId, u64), Envelope>,
     seen: BTreeMap<LinkId, SeqWindow>,
+    rtt: BTreeMap<LinkId, RttEstimator>,
+    retransmitted: BTreeSet<(LinkId, u64)>,
+    initial_rto: u64,
+}
+
+impl Default for ReliableState {
+    fn default() -> Self {
+        // 5 ms matches FaultPlan's default rto.
+        ReliableState::with_rto(5_000_000)
+    }
 }
 
 impl ReliableState {
-    /// Fresh state with no links established.
+    /// Fresh state with no links established and the default initial RTO.
     pub fn new() -> Self {
         ReliableState::default()
+    }
+
+    /// Fresh state whose per-link estimators start (and stay clamped
+    /// around) `initial_rto_nanos`.
+    pub fn with_rto(initial_rto_nanos: u64) -> Self {
+        ReliableState {
+            next_seq: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            seen: BTreeMap::new(),
+            rtt: BTreeMap::new(),
+            retransmitted: BTreeSet::new(),
+            initial_rto: initial_rto_nanos.max(1),
+        }
     }
 
     /// Allocates the next sequence number for `link` (1-based; 0 is the
@@ -92,9 +194,75 @@ impl ReliableState {
     }
 
     /// Processes an ack for `seq` on `link`; returns true if a pending
-    /// envelope was retired (false for duplicate/stale acks).
+    /// envelope was retired (false for duplicate/stale acks). Takes no
+    /// RTT sample — use [`acknowledge_at`](ReliableState::acknowledge_at)
+    /// when the receive time is known.
     pub fn acknowledge(&mut self, link: LinkId, seq: u64) -> bool {
+        self.retransmitted.remove(&(link, seq));
         self.pending.remove(&(link, seq)).is_some()
+    }
+
+    /// Processes an ack observed at `now_nanos`: retires the pending
+    /// envelope and, if the sequence number was never retransmitted
+    /// (Karn's rule), feeds `now - sent_at` to the link's RTT estimator.
+    pub fn acknowledge_at(&mut self, link: LinkId, seq: u64, now_nanos: u64) -> AckOutcome {
+        let was_retransmitted = self.retransmitted.remove(&(link, seq));
+        let Some(envelope) = self.pending.remove(&(link, seq)) else {
+            return AckOutcome {
+                retired: false,
+                rtt_sample_nanos: None,
+            };
+        };
+        let sample =
+            (!was_retransmitted).then(|| now_nanos.saturating_sub(envelope.sent_at.as_nanos()));
+        if let Some(s) = sample {
+            let initial = self.initial_rto;
+            self.rtt
+                .entry(link)
+                .or_insert_with(|| RttEstimator::new(initial))
+                .observe(s);
+        }
+        AckOutcome {
+            retired: true,
+            rtt_sample_nanos: sample,
+        }
+    }
+
+    /// Marks `(link, seq)` as retransmitted so a later ack for it takes
+    /// no RTT sample (Karn's rule).
+    pub fn mark_retransmitted(&mut self, link: LinkId, seq: u64) {
+        self.retransmitted.insert((link, seq));
+    }
+
+    /// The adaptive retransmission timeout for `link` in nanoseconds:
+    /// the link's estimator if it has seen samples, else the initial RTO.
+    pub fn rto_for(&self, link: LinkId) -> u64 {
+        self.rtt
+            .get(&link)
+            .map_or(self.initial_rto, |e| e.rto_nanos())
+    }
+
+    /// The smoothed RTT for `link`, if the estimator has samples.
+    pub fn srtt_for(&self, link: LinkId) -> Option<u64> {
+        self.rtt
+            .get(&link)
+            .filter(|e| e.samples() > 0)
+            .map(|e| e.srtt_nanos())
+    }
+
+    /// Mean smoothed RTT across links with at least one sample (0 if
+    /// none) — the aggregate surfaced in `LinkStats`.
+    pub fn mean_srtt_nanos(&self) -> u64 {
+        let with_samples: Vec<u64> = self
+            .rtt
+            .values()
+            .filter(|e| e.samples() > 0)
+            .map(|e| e.srtt_nanos())
+            .collect();
+        if with_samples.is_empty() {
+            return 0;
+        }
+        with_samples.iter().sum::<u64>() / with_samples.len() as u64
     }
 
     /// The still-unacknowledged envelope for `(link, seq)`, if any — what a
@@ -106,6 +274,7 @@ impl ReliableState {
     /// Drops the retransmit buffer entry after the retry cap; returns true
     /// if it was still pending (i.e. the message is now known lost).
     pub fn abandon(&mut self, link: LinkId, seq: u64) -> bool {
+        self.retransmitted.remove(&(link, seq));
         self.pending.remove(&(link, seq)).is_some()
     }
 
@@ -195,6 +364,84 @@ mod tests {
         st.track(env(1, 2, 5));
         assert!(st.abandon((p(1), p(2)), 5));
         assert!(!st.abandon((p(1), p(2)), 5));
+    }
+
+    #[test]
+    fn estimator_converges_toward_stable_rtt() {
+        let mut e = RttEstimator::new(5_000_000);
+        for _ in 0..50 {
+            e.observe(1_000_000);
+        }
+        assert_eq!(e.srtt_nanos(), 1_000_000);
+        // Stable samples shrink RTTVAR, so RTO approaches SRTT (bounded
+        // below by the clamp floor initial/8).
+        assert!(e.rto_nanos() >= 1_000_000);
+        assert!(e.rto_nanos() < 2_000_000, "rto={}", e.rto_nanos());
+    }
+
+    #[test]
+    fn estimator_clamps_to_min_and_max() {
+        let mut e = RttEstimator::new(8_000);
+        for _ in 0..50 {
+            e.observe(1);
+        }
+        assert_eq!(e.rto_nanos(), 1_000, "clamped at initial/8");
+        for _ in 0..50 {
+            e.observe(u64::MAX / 8);
+        }
+        assert_eq!(e.rto_nanos(), 8_000 * 64, "clamped at initial*64");
+    }
+
+    #[test]
+    fn jittery_samples_raise_rto_above_srtt() {
+        let mut e = RttEstimator::new(5_000_000);
+        for i in 0..100u64 {
+            e.observe(if i % 2 == 0 { 500_000 } else { 1_500_000 });
+        }
+        assert!(e.rto_nanos() > e.srtt_nanos() + 1_000_000, "4·RTTVAR term");
+    }
+
+    #[test]
+    fn acknowledge_at_samples_fresh_sends_only() {
+        let mut st = ReliableState::with_rto(5_000_000);
+        let link = (p(1), p(2));
+        st.track(env(1, 2, 1));
+        let out = st.acknowledge_at(link, 1, 2_000_000);
+        assert!(out.retired);
+        assert_eq!(out.rtt_sample_nanos, Some(2_000_000));
+        assert_eq!(st.srtt_for(link), Some(2_000_000));
+        // Karn's rule: a retransmitted seq yields no sample.
+        st.track(env(1, 2, 2));
+        st.mark_retransmitted(link, 2);
+        let out = st.acknowledge_at(link, 2, 9_000_000);
+        assert!(out.retired);
+        assert_eq!(out.rtt_sample_nanos, None);
+        assert_eq!(st.srtt_for(link), Some(2_000_000), "estimator untouched");
+    }
+
+    #[test]
+    fn rto_for_adapts_from_initial_to_measured() {
+        let mut st = ReliableState::with_rto(5_000_000);
+        let link = (p(1), p(2));
+        assert_eq!(st.rto_for(link), 5_000_000, "no samples: initial rto");
+        for seq in 1..=20 {
+            st.track(env(1, 2, seq));
+            st.acknowledge_at(link, seq, 1_000_000);
+        }
+        assert!(st.rto_for(link) < 5_000_000, "rto adapted downward");
+        assert!(st.rto_for(link) >= 625_000, "but not below initial/8");
+        assert!(st.mean_srtt_nanos() > 0);
+    }
+
+    #[test]
+    fn duplicate_ack_takes_no_sample() {
+        let mut st = ReliableState::with_rto(5_000_000);
+        let link = (p(1), p(2));
+        st.track(env(1, 2, 1));
+        assert!(st.acknowledge_at(link, 1, 1_000).retired);
+        let dup = st.acknowledge_at(link, 1, 2_000);
+        assert!(!dup.retired);
+        assert_eq!(dup.rtt_sample_nanos, None);
     }
 
     #[test]

@@ -140,7 +140,19 @@ impl RuntimeBuilder {
     }
 
     /// Builds the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the typed [`HopeError::InvalidFaultPlan`]
+    /// (`hope_types::HopeError`) rendering if the fault plan fails
+    /// [`FaultPlan::validate`] — NaN or out-of-range rates, a
+    /// non-positive rto, or overlapping crash windows for one process.
     pub fn build(self) -> SimRuntime {
+        if let Some(plan) = &self.faults {
+            if let Err(err) = plan.validate() {
+                panic!("{err}");
+            }
+        }
         let mut queue = EventQueue::new();
         let reliable = self.reliable || self.faults.is_some();
         let (rto_nanos, max_retransmits) = self
@@ -177,7 +189,7 @@ impl RuntimeBuilder {
             },
             fault,
             rel: if reliable {
-                Some(ReliableState::new())
+                Some(ReliableState::with_rto(rto_nanos))
             } else {
                 None
             },
@@ -651,8 +663,11 @@ impl SimRuntime {
                 let link: LinkId = (src, dst);
                 env.seq = rel.assign_seq(link);
                 rel.track(env.clone());
+                // The first timer uses the link's adapted RTO (the
+                // configured rto until samples arrive).
+                let rto = rel.rto_for(link);
                 self.queue.push(
-                    sent_at + VirtualDuration::from_nanos(self.rto_nanos),
+                    sent_at + VirtualDuration::from_nanos(rto),
                     EventKind::Retransmit {
                         link,
                         seq: env.seq,
@@ -759,7 +774,16 @@ impl SimRuntime {
         }
         self.stats.link_mut().retransmits += 1;
         let next = attempt + 1;
-        let delay = backoff_nanos(self.rto_nanos, next);
+        let rto = self
+            .rel
+            .as_ref()
+            .map_or(self.rto_nanos, |r| r.rto_for(link));
+        if let Some(rel) = self.rel.as_mut() {
+            rel.mark_retransmitted(link, seq);
+        }
+        let link_stats = self.stats.link_mut();
+        link_stats.max_retransmit_attempt = link_stats.max_retransmit_attempt.max(next as u64);
+        let delay = backoff_nanos(rto, next);
         self.queue.push(
             self.clock + VirtualDuration::from_nanos(delay),
             EventKind::Retransmit {
@@ -802,7 +826,13 @@ impl SimRuntime {
         if let Payload::Ack { seq } = env.payload {
             self.stats.link_mut().acks += 1;
             if let Some(rel) = self.rel.as_mut() {
-                rel.acknowledge((env.dst, env.src), seq);
+                let out = rel.acknowledge_at((env.dst, env.src), seq, self.clock.as_nanos());
+                if out.rtt_sample_nanos.is_some() {
+                    let srtt = rel.mean_srtt_nanos();
+                    let link_stats = self.stats.link_mut();
+                    link_stats.rtt_samples += 1;
+                    link_stats.srtt_nanos = srtt;
+                }
             }
             return;
         }

@@ -55,6 +55,15 @@ pub struct LinkStats {
     pub dedup_dropped: u64,
     /// Messages addressed to a process the runtime never knew.
     pub unroutable: u64,
+    /// Round-trip samples fed to the Jacobson/Karels estimators (acks of
+    /// never-retransmitted sends; Karn's rule excludes the rest).
+    pub rtt_samples: u64,
+    /// Mean smoothed RTT across sampled links at the last sample, in
+    /// nanoseconds — the adaptive timeout the retransmit timers track.
+    pub srtt_nanos: u64,
+    /// Highest retransmission attempt any envelope reached (0-based
+    /// backoff exponent; 0 when nothing was ever retransmitted).
+    pub max_retransmit_attempt: u64,
 }
 
 impl LinkStats {
@@ -68,7 +77,8 @@ impl fmt::Display for LinkStats {
         write!(
             f,
             "fault_dropped={} duplicated={} crash_dropped={} retransmits={} \
-             abandoned={} acks={} dedup_dropped={} unroutable={}",
+             abandoned={} acks={} dedup_dropped={} unroutable={} \
+             rtt_samples={} srtt_nanos={} max_attempt={}",
             self.fault_dropped,
             self.duplicated,
             self.crash_dropped,
@@ -76,7 +86,10 @@ impl fmt::Display for LinkStats {
             self.abandoned,
             self.acks,
             self.dedup_dropped,
-            self.unroutable
+            self.unroutable,
+            self.rtt_samples,
+            self.srtt_nanos,
+            self.max_retransmit_attempt
         )
     }
 }
@@ -248,6 +261,7 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("retransmits=2"));
         assert!(text.contains("acks=5"));
+        assert!(text.contains("srtt_nanos=0"));
         assert_eq!(s.link().retransmits, 2);
         // Table 1 accounting is unaffected by link-layer traffic.
         assert_eq!(s.total(), 0);

@@ -118,7 +118,6 @@ struct Inner {
     rel: Option<Mutex<ReliableState>>,
     /// Crashed processes: raw pid -> restart instant.
     down: Mutex<BTreeMap<u64, Instant>>,
-    rto: Duration,
     max_retransmits: u32,
 }
 
@@ -173,9 +172,12 @@ impl Inner {
                 let mut rel = rel.lock();
                 envelope.seq = rel.assign_seq(link);
                 rel.track(envelope.clone());
+                // First timer on the link's adapted RTO (configured rto
+                // until round-trip samples arrive).
+                let rto = Duration::from_nanos(rel.rto_for(link));
                 drop(rel);
                 self.schedule(
-                    Instant::now() + self.rto,
+                    Instant::now() + rto,
                     Work::Retransmit {
                         link,
                         seq: envelope.seq,
@@ -230,7 +232,17 @@ impl Inner {
         if let Payload::Ack { seq } = envelope.payload {
             self.stats.lock().link_mut().acks += 1;
             if let Some(rel) = self.rel.as_ref() {
-                rel.lock().acknowledge((envelope.dst, envelope.src), seq);
+                let mut rel = rel.lock();
+                let out =
+                    rel.acknowledge_at((envelope.dst, envelope.src), seq, self.now().as_nanos());
+                if out.rtt_sample_nanos.is_some() {
+                    let srtt = rel.mean_srtt_nanos();
+                    drop(rel);
+                    let mut stats = self.stats.lock();
+                    let link_stats = stats.link_mut();
+                    link_stats.rtt_samples += 1;
+                    link_stats.srtt_nanos = srtt;
+                }
             }
             return;
         }
@@ -387,12 +399,20 @@ impl Inner {
             self.stats.lock().link_mut().abandoned += 1;
             return;
         }
-        self.stats.lock().link_mut().retransmits += 1;
+        let rto = {
+            let mut rel = rel.lock();
+            rel.mark_retransmitted(link, seq);
+            rel.rto_for(link)
+        };
+        {
+            let mut stats = self.stats.lock();
+            let link_stats = stats.link_mut();
+            link_stats.retransmits += 1;
+            link_stats.max_retransmit_attempt =
+                link_stats.max_retransmit_attempt.max((attempt + 1) as u64);
+        }
         let next = attempt + 1;
-        let delay = Duration::from_nanos(backoff_nanos(
-            self.rto.as_nanos().min(u64::MAX as u128) as u64,
-            next,
-        ));
+        let delay = Duration::from_nanos(backoff_nanos(rto, next));
         self.schedule(
             Instant::now() + delay,
             Work::Retransmit {
@@ -625,7 +645,16 @@ impl ThreadedRuntimeBuilder {
 
     /// Builds and starts the runtime (the dispatcher thread runs
     /// immediately; processes run as soon as they are spawned).
+    /// # Panics
+    ///
+    /// Panics with the typed `HopeError::InvalidFaultPlan` rendering if
+    /// the fault plan fails [`FaultPlan::validate`].
     pub fn build(self) -> ThreadedRuntime {
+        if let Some(plan) = &self.faults {
+            if let Err(err) = plan.validate() {
+                panic!("{err}");
+            }
+        }
         let (tx, rx) = unbounded::<Scheduled>();
         let reliable = self.reliable || self.faults.is_some();
         let (rto, max_retransmits) = self
@@ -657,9 +686,12 @@ impl ThreadedRuntimeBuilder {
             start,
             seed: self.seed,
             fault,
-            rel: reliable.then(|| Mutex::new(ReliableState::new())),
+            rel: reliable.then(|| {
+                Mutex::new(ReliableState::with_rto(
+                    rto.as_nanos().min(u64::MAX as u128) as u64,
+                ))
+            }),
             down: Mutex::new(BTreeMap::new()),
-            rto,
             max_retransmits,
         });
         for c in &crashes {

@@ -17,6 +17,7 @@
 //! | [`soak`]       | E9    | mixed load: latency percentiles under rollback pressure |
 //! | [`protocol`]   | T1    | Table 1 message accounting |
 //! | [`chaos`]      | E-chaos | fault injection: safety invariants under drop/dup/crash |
+//! | [`disk_chaos`] | E-disk  | durable op-log recovery under crashes with storage faults |
 //! | [`scenarios`]  | E-check | zero-latency scenario builders for the `hope-check` model checker |
 
 #![forbid(unsafe_code)]
@@ -24,6 +25,7 @@
 
 pub mod chain;
 pub mod chaos;
+pub mod disk_chaos;
 pub mod json;
 pub mod printer;
 pub mod protocol;

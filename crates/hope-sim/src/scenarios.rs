@@ -8,8 +8,8 @@
 //! the way. Scenario builders return an un-run [`HopeEnv`]; the checker
 //! drives it step by step through the runtime's scheduler hook.
 
-use hope_core::HopeEnv;
-use hope_runtime::{FaultPlan, NetworkConfig};
+use hope_core::{DurableConfig, HopeEnv, SyncPolicy};
+use hope_runtime::{FaultPlan, NetworkConfig, StorageFaultPlan};
 use hope_types::{AidId, ProcessId, VirtualDuration, VirtualTime};
 
 use crate::rings::{decode_aids, encode_aids};
@@ -96,6 +96,69 @@ pub fn chaos_ring(n: usize, seed: u64) -> HopeEnv {
     env
 }
 
+/// The chaos ring with **durable op-logs and storage faults**: every
+/// process journals to a segmented WAL, and ring-0's crash image takes a
+/// seeded storage fault (torn final record, lost fsync window, or bit
+/// flip) before recovery replays the longest valid prefix. A zero-length
+/// `compute` after each guess leaves deliberately-unsynced bytes in the
+/// WAL tail under [`SyncPolicy::Visible`], so the checker explores
+/// schedules where the corruption actually lands on live data. Safety and
+/// crash-recovery equivalence must hold on every schedule; convergence is
+/// not promised (a schedule can still lose every copy of a message).
+pub fn disk_ring(n: usize, seed: u64) -> HopeEnv {
+    assert!(n >= 2, "a ring needs at least two processes");
+    let victim = ProcessId::from_raw(0); // ring-0: first spawn below
+    let plan = FaultPlan::new()
+        .seed(seed)
+        .crash(victim, VirtualTime::ZERO, VirtualDuration::ZERO)
+        .rto(VirtualDuration::from_millis(5))
+        .max_retransmits(6)
+        .storage(
+            StorageFaultPlan::default()
+                .torn_final_record(0.4)
+                .lost_sync_window(0.3)
+                .bit_flip(0.2),
+        );
+    let mut env = HopeEnv::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::ZERO))
+        .cycle_detection(true)
+        .max_events(1_000_000)
+        .faults(plan)
+        .durable(DurableConfig {
+            segment_bytes: 128,
+            checkpoint_every: 4,
+            sync_policy: SyncPolicy::Visible,
+        })
+        .build();
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let pid = env.spawn_user(&format!("ring-{i}"), move |ctx| {
+            let m = ctx.receive(None);
+            let aids = decode_aids(&m.data);
+            let mine = aids[i];
+            let next = aids[(i + 1) % aids.len()];
+            if ctx.guess(mine) {
+                ctx.affirm(next);
+            }
+            // Zero-duration local work: logs a non-visible op without
+            // advancing the virtual clock, so the WAL keeps an unsynced
+            // tail for the storage fault to corrupt.
+            ctx.compute(VirtualDuration::ZERO);
+        });
+        pids.push(pid);
+    }
+    assert_eq!(pids[0], victim, "crash plan must target ring-0");
+    env.spawn_user("coordinator", move |ctx| {
+        let aids: Vec<AidId> = (0..pids.len()).map(|_| ctx.aid_init()).collect();
+        let payload = encode_aids(&aids);
+        for &p in &pids {
+            ctx.send(p, 0, payload.clone());
+        }
+    });
+    env
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +181,16 @@ mod tests {
         let mut env = chaos_ring(2, 1);
         let report = env.run();
         assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+    }
+
+    #[test]
+    fn disk_ring_recovers_from_faulted_storage_in_default_order() {
+        for seed in 0..8 {
+            let mut env = disk_ring(2, seed);
+            let report = env.run();
+            assert!(report.run.panics.is_empty(), "{:?}", report.run.panics);
+            let store = env.store_stats().expect("disk_ring configures storage");
+            assert_eq!(store.frontier_violations, 0, "seed {seed}: {store:?}");
+        }
     }
 }

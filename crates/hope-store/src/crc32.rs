@@ -1,0 +1,102 @@
+//! Table-driven CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! Hand-rolled because the container builds offline: no `crc` crate. The
+//! choice of CRC-32 matters for the recovery guarantees — it detects
+//! every single-bit error and every burst up to 32 bits, which is exactly
+//! the fault model of [`StorageFault`](crate::StorageFault) (bit flips
+//! and torn suffixes).
+
+/// One CRC table entry per byte value, built at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// Incremental CRC-32 over multiple slices (frames checksum their header
+/// and payload without concatenating them first).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32(u32);
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    pub fn new() -> Self {
+        Crc32(0xFFFF_FFFF)
+    }
+
+    /// Folds `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.0;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.0 = crc;
+    }
+
+    /// Finishes and returns the checksum value.
+    pub fn finish(self) -> u32 {
+        !self.0
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut c = Crc32::new();
+        c.update(b"hello ");
+        c.update(b"world");
+        assert_eq!(c.finish(), crc32(b"hello world"));
+    }
+
+    #[test]
+    fn detects_every_single_bit_flip() {
+        let base = b"the quick brown fox".to_vec();
+        let want = crc32(&base);
+        for byte in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), want, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

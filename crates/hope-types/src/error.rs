@@ -46,6 +46,12 @@ pub enum HopeError {
     },
     /// Payload decoding failed (RPC layer).
     Codec(String),
+    /// A `FaultPlan` failed validation at build time: a NaN or
+    /// out-of-range drop/duplicate/storage rate, a non-positive
+    /// retransmission timeout, or overlapping crash windows for the same
+    /// process. Rejecting the plan up front replaces what would
+    /// otherwise be undefined seeded behaviour mid-run.
+    InvalidFaultPlan(String),
 }
 
 impl fmt::Display for HopeError {
@@ -74,6 +80,7 @@ impl fmt::Display for HopeError {
                 "replay diverged in {process} at operation {op_index}: {detail}"
             ),
             HopeError::Codec(msg) => write!(f, "payload codec error: {msg}"),
+            HopeError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
         }
     }
 }
@@ -97,6 +104,14 @@ mod tests {
     fn error_is_std_error_send_sync() {
         fn assert_err<E: Error + Send + Sync + 'static>() {}
         assert_err::<HopeError>();
+    }
+
+    #[test]
+    fn invalid_fault_plan_carries_the_reason() {
+        let e = HopeError::InvalidFaultPlan("drop rate must be in [0, 1), got NaN".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid fault plan"));
+        assert!(s.contains("NaN"));
     }
 
     #[test]
