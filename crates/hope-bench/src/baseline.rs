@@ -1,0 +1,172 @@
+//! Durable perf baselines: `BENCH_*.json` files at the repository root.
+//!
+//! Each perf bin renders its headline numbers into the workspace's tiny
+//! JSON subset (string scalars only — see `hope_sim::json`) and writes
+//! them next to the sources, so a regression shows up as a diff in
+//! review and CI can gate on it. The gate compares only *deterministic*
+//! metrics (message counts, bytes on the wire, fitted exponents):
+//! wall-clock figures are recorded for the humans but never gated,
+//! because CI machines are not the machine that wrote the baseline.
+
+use std::path::PathBuf;
+
+use hope_sim::json::Value;
+
+/// The workspace root (where `BENCH_*.json` lives), resolved from this
+/// crate's manifest so the bins work from any working directory.
+pub fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root exists")
+}
+
+/// Builds a flat JSON object from `(key, value)` pairs; every scalar is
+/// a string because that is the subset `hope_sim::json` speaks.
+pub fn obj(fields: &[(&str, String)]) -> Value {
+    Value::Object(
+        fields
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), Value::String(v.clone())))
+            .collect(),
+    )
+}
+
+/// Least-squares slope of `ln(y)` against `ln(x)` — the growth exponent
+/// of a power law `y ≈ c·xᵉ`. Points with a non-positive coordinate are
+/// skipped (ln is undefined there); fewer than two usable points fit a
+/// flat line (exponent 0).
+pub fn fit_exponent(points: &[(f64, f64)]) -> f64 {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|(x, y)| *x > 0.0 && *y > 0.0)
+        .map(|(x, y)| (x.ln(), y.ln()))
+        .collect();
+    if logs.len() < 2 {
+        return 0.0;
+    }
+    let n = logs.len() as f64;
+    let (sx, sy): (f64, f64) = logs
+        .iter()
+        .fold((0.0, 0.0), |(a, b), (x, y)| (a + x, b + y));
+    let (mx, my) = (sx / n, sy / n);
+    let num: f64 = logs.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = logs.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// The `p`-th percentile (nearest-rank on a zero-based index) of an
+/// unsorted sample set; 0 for an empty set.
+pub fn percentile(samples: &[u64], p: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let ix = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[ix.min(sorted.len() - 1)]
+}
+
+/// Loads a previously committed baseline, if any.
+pub fn load(file_name: &str) -> Option<Value> {
+    let text = std::fs::read_to_string(repo_root().join(file_name)).ok()?;
+    hope_sim::json::from_str(&text).ok()
+}
+
+/// Writes `value` as the new committed baseline.
+pub fn store(file_name: &str, value: &Value) {
+    let path = repo_root().join(file_name);
+    let mut text = hope_sim::json::to_string_pretty(value);
+    text.push('\n');
+    std::fs::write(&path, text).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+/// Compares the new run against the stored baseline on the named keys
+/// (top-level, numeric-string values): each must stay within `factor`×
+/// of the baseline. Returns human-readable violations; an absent
+/// baseline or an unparsable key gates nothing (first run, new field).
+pub fn gate(baseline: &Value, fresh: &Value, keys: &[&str], factor: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    for key in keys {
+        let old: f64 = match baseline[*key].as_str().and_then(|s| s.parse().ok()) {
+            Some(v) => v,
+            None => continue,
+        };
+        let new: f64 = match fresh[*key].as_str().and_then(|s| s.parse().ok()) {
+            Some(v) => v,
+            None => continue,
+        };
+        if new > old * factor {
+            violations.push(format!(
+                "{key}: {new} exceeds {factor}x the committed baseline {old}"
+            ));
+        }
+    }
+    violations
+}
+
+/// Shared tail of every perf bin: in check mode (`HOPE_BENCH_CHECK=1`,
+/// the CI perf-smoke job) compare `fresh` against the committed baseline
+/// and exit nonzero on a regression, leaving the tree clean; otherwise
+/// refresh the committed file.
+pub fn finish(file_name: &str, fresh: &Value, gated_keys: &[&str], factor: f64) {
+    if std::env::var("HOPE_BENCH_CHECK").as_deref() == Ok("1") {
+        let Some(baseline) = load(file_name) else {
+            eprintln!("perf-smoke: no committed {file_name} to check against");
+            std::process::exit(1);
+        };
+        let violations = gate(&baseline, fresh, gated_keys, factor);
+        if violations.is_empty() {
+            println!("perf-smoke: {file_name} within {factor}x of baseline");
+        } else {
+            for v in &violations {
+                eprintln!("perf-smoke regression in {file_name}: {v}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        store(file_name, fresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_linear_data_is_one() {
+        let pts: Vec<(f64, f64)> = (1..=64).map(|n| (n as f64, 3.0 * n as f64)).collect();
+        assert!((fit_exponent(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponent_of_quadratic_data_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=64).map(|n| (n as f64, (n * n) as f64)).collect();
+        assert!((fit_exponent(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentiles_pick_expected_ranks() {
+        let samples: Vec<u64> = (1..=101).collect();
+        assert_eq!(percentile(&samples, 50.0), 51);
+        assert_eq!(percentile(&samples, 99.0), 100);
+        assert_eq!(percentile(&samples, 100.0), 101);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_factor() {
+        let old = obj(&[("a", "100".into()), ("b", "10".into())]);
+        let ok = obj(&[("a", "150".into()), ("b", "20".into())]);
+        assert!(gate(&old, &ok, &["a", "b"], 2.0).is_empty());
+        let bad = obj(&[("a", "201".into()), ("b", "10".into())]);
+        assert_eq!(gate(&old, &bad, &["a", "b"], 2.0).len(), 1);
+        // Missing keys gate nothing.
+        assert!(gate(&old, &obj(&[]), &["a"], 2.0).is_empty());
+    }
+}

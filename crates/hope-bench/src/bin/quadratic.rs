@@ -1,7 +1,82 @@
 //! E5: dependency-tracking cost vs. speculation depth — the quadratic
-//! behaviour the paper's §6 promises to analyze.
+//! behaviour the paper's §6 promises to analyze, now held linear by
+//! delta registration (DESIGN.md S7).
+//!
+//! Besides the printed table, this bin maintains the committed perf
+//! baseline `BENCH_quadratic.json` at the repo root: per-depth message
+//! counts plus the fitted growth exponent of total HOPE messages against
+//! depth. The exponent is a hard acceptance bound (< 1.5 — linear with
+//! headroom, categorically below the §6 quadratic), and CI's perf-smoke
+//! job (`HOPE_BENCH_CHECK=1`) additionally refuses a >2x count
+//! regression against the committed numbers.
+
+use hope_bench::baseline;
+use hope_sim::json::Value;
+
+const DEPTHS: [u32; 7] = [1, 2, 4, 8, 16, 32, 64];
+const SEED: u64 = 42;
+const EXPONENT_CEILING: f64 = 1.5;
 
 fn main() {
-    let table = hope_sim::quadratic::sweep(&[1, 2, 4, 8, 16, 32, 64], 42);
-    hope_bench::emit(&table);
+    hope_bench::emit(&hope_sim::quadratic::sweep(&DEPTHS, SEED));
+
+    let results = hope_sim::quadratic::sweep_results(&DEPTHS, SEED);
+    let points: Vec<(f64, f64)> = results
+        .iter()
+        .map(|r| (f64::from(r.depth), r.total_hope as f64))
+        .collect();
+    let exponent = baseline::fit_exponent(&points);
+    assert!(
+        exponent < EXPONENT_CEILING,
+        "dependency tracking has gone super-linear again: fitted exponent \
+         {exponent:.3} >= {EXPONENT_CEILING} across depths {DEPTHS:?}"
+    );
+    println!("fitted growth exponent: {exponent:.3} (ceiling {EXPONENT_CEILING})");
+
+    let deepest = results.last().expect("non-empty sweep");
+    let rows = results
+        .iter()
+        .map(|r| {
+            baseline::obj(&[
+                ("depth", r.depth.to_string()),
+                ("guess_messages", r.guess_messages.to_string()),
+                ("replace_messages", r.replace_messages.to_string()),
+                ("total_hope_messages", r.total_hope.to_string()),
+            ])
+        })
+        .collect();
+    let fresh = Value::Object(vec![
+        (
+            "bench".into(),
+            Value::String("quadratic (E5: dependency-tracking cost vs. depth)".into()),
+        ),
+        ("seed".into(), Value::String(SEED.to_string())),
+        (
+            "fitted_exponent".into(),
+            Value::String(format!("{exponent:.3}")),
+        ),
+        (
+            "exponent_ceiling".into(),
+            Value::String(format!("{EXPONENT_CEILING}")),
+        ),
+        (
+            "total_hope_messages_at_max_depth".into(),
+            Value::String(deepest.total_hope.to_string()),
+        ),
+        (
+            "guess_messages_at_max_depth".into(),
+            Value::String(deepest.guess_messages.to_string()),
+        ),
+        ("rows".into(), Value::Array(rows)),
+    ]);
+    baseline::finish(
+        "BENCH_quadratic.json",
+        &fresh,
+        &[
+            "fitted_exponent",
+            "total_hope_messages_at_max_depth",
+            "guess_messages_at_max_depth",
+        ],
+        2.0,
+    );
 }

@@ -1,0 +1,223 @@
+//! E-perf: end-to-end throughput of the optimistic fast path, and the
+//! second half of the committed perf baseline (`BENCH_throughput.json`).
+//!
+//! One producer streams user messages to one consumer over a reliable
+//! LAN link while stacking speculative guesses, so every message
+//! piggybacks a growing dependency tag and the per-link delta codec is
+//! exercised end to end; the consumer then affirms every assumption.
+//! The bin reports:
+//!
+//! * user-message throughput in wall and virtual time,
+//! * bytes the dependency tags would cost verbatim vs. what the delta
+//!   coding actually puts on the wire,
+//! * `Guess` registrations (linear in depth under delta registration),
+//! * p50/p99 latency of the `guess`/`affirm` primitives in both clocks —
+//!   the wait-free claim is that the *virtual* cost is zero, and the
+//!   wall numbers price the implementation itself.
+//!
+//! Deterministic metrics (counts, bytes) are gated by CI's perf-smoke
+//! job at 2x; wall-clock figures are recorded for humans, never gated.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bytes::Bytes;
+use hope_bench::baseline;
+use hope_core::HopeEnv;
+use hope_runtime::NetworkConfig;
+use hope_sim::json::Value;
+use hope_types::{AidId, ProcessId, VirtualDuration};
+
+const MESSAGES: u64 = 2_000;
+const DEPTH: u32 = 32;
+const SEED: u64 = 7;
+
+fn encode_aids(aids: &[AidId]) -> Bytes {
+    let mut out = Vec::with_capacity(aids.len() * 8);
+    for aid in aids {
+        out.extend_from_slice(&aid.process().as_raw().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_aids(data: &[u8]) -> Vec<AidId> {
+    data.chunks_exact(8)
+        .map(|c| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(c);
+            AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(raw)))
+        })
+        .collect()
+}
+
+/// (virtual nanos, wall nanos) per primitive invocation.
+type Samples = Arc<Mutex<Vec<(u64, u64)>>>;
+
+fn main() {
+    let guess_lat: Samples = Arc::new(Mutex::new(Vec::new()));
+    let affirm_lat: Samples = Arc::new(Mutex::new(Vec::new()));
+
+    let mut env = HopeEnv::builder()
+        .seed(SEED)
+        .network(NetworkConfig::lan())
+        .reliable(true)
+        .build();
+    let affirm_samples = Arc::clone(&affirm_lat);
+    let consumer = env.spawn_user("consumer", move |ctx| {
+        let aids = decode_aids(&ctx.receive(Some(1)).data);
+        for _ in 0..MESSAGES {
+            let _ = ctx.receive(Some(0));
+        }
+        // Let the producer finish its sends before resolution starts.
+        ctx.compute(VirtualDuration::from_millis(10));
+        for aid in aids {
+            let (v0, w0) = (ctx.now(), Instant::now());
+            ctx.affirm(aid);
+            let dv = ctx.now().as_nanos() - v0.as_nanos();
+            affirm_samples
+                .lock()
+                .unwrap()
+                .push((dv, w0.elapsed().as_nanos() as u64));
+        }
+    });
+    let guess_samples = Arc::clone(&guess_lat);
+    env.spawn_user("producer", move |ctx| {
+        let aids: Vec<AidId> = (0..DEPTH).map(|_| ctx.aid_init()).collect();
+        ctx.send(consumer, 1, encode_aids(&aids));
+        let stride = (MESSAGES / u64::from(DEPTH)).max(1);
+        let mut next_guess = 0usize;
+        for i in 0..MESSAGES {
+            if i % stride == 0 && next_guess < aids.len() {
+                let aid = aids[next_guess];
+                next_guess += 1;
+                let (v0, w0) = (ctx.now(), Instant::now());
+                let _ = ctx.guess(aid);
+                let dv = ctx.now().as_nanos() - v0.as_nanos();
+                guess_samples
+                    .lock()
+                    .unwrap()
+                    .push((dv, w0.elapsed().as_nanos() as u64));
+            }
+            ctx.send(consumer, 0, Bytes::from(i.to_le_bytes().to_vec()));
+            // Pace the stream so link acks flow back between sends: an
+            // unpaced burst outruns every ack and the tag codec would
+            // (correctly, but uninterestingly) ship nothing but `Full`.
+            ctx.compute(VirtualDuration::from_micros(200));
+        }
+    });
+
+    let wall_start = Instant::now();
+    let report = env.run();
+    let wall = wall_start.elapsed();
+    assert!(report.is_clean(), "{:?}", report.run.panics);
+    assert!(
+        report.run.blocked.is_empty(),
+        "every interval must finalize: {:?}",
+        report.run.blocked
+    );
+
+    let link = report.run.stats.link();
+    let registrations = report.run.stats.count_kind("Guess");
+    let virtual_secs = report.run.now.as_nanos() as f64 / 1e9;
+    let wall_secs = wall.as_secs_f64().max(1e-9);
+    let (gv, gw): (Vec<u64>, Vec<u64>) = guess_lat.lock().unwrap().iter().copied().unzip();
+    let (av, aw): (Vec<u64>, Vec<u64>) = affirm_lat.lock().unwrap().iter().copied().unzip();
+
+    println!(
+        "throughput: {MESSAGES} msgs in {wall_secs:.3}s wall ({:.0} msgs/s), \
+         {virtual_secs:.4}s virtual ({:.0} msgs/virtual-s)",
+        MESSAGES as f64 / wall_secs,
+        MESSAGES as f64 / virtual_secs,
+    );
+    println!(
+        "dependency tags: {} bytes verbatim -> {} bytes on the wire \
+         ({} full, {} delta codings)",
+        link.tag_bytes_full, link.tag_bytes_wire, link.tags_full, link.tags_delta,
+    );
+
+    let fresh = Value::Object(vec![
+        (
+            "bench".into(),
+            Value::String("throughput (E-perf: reliable-link streaming under speculation)".into()),
+        ),
+        ("seed".into(), Value::String(SEED.to_string())),
+        ("messages".into(), Value::String(MESSAGES.to_string())),
+        ("depth".into(), Value::String(DEPTH.to_string())),
+        (
+            "registrations".into(),
+            Value::String(registrations.to_string()),
+        ),
+        (
+            "total_hope_messages".into(),
+            Value::String(report.run.stats.total_hope().to_string()),
+        ),
+        (
+            "tag_bytes_full".into(),
+            Value::String(link.tag_bytes_full.to_string()),
+        ),
+        (
+            "tag_bytes_wire".into(),
+            Value::String(link.tag_bytes_wire.to_string()),
+        ),
+        (
+            "tags_full".into(),
+            Value::String(link.tags_full.to_string()),
+        ),
+        (
+            "tags_delta".into(),
+            Value::String(link.tags_delta.to_string()),
+        ),
+        (
+            "virtual_micros_total".into(),
+            Value::String((report.run.now.as_nanos() / 1_000).to_string()),
+        ),
+        (
+            "guess_p50_virtual_ns".into(),
+            Value::String(baseline::percentile(&gv, 50.0).to_string()),
+        ),
+        (
+            "guess_p99_virtual_ns".into(),
+            Value::String(baseline::percentile(&gv, 99.0).to_string()),
+        ),
+        (
+            "affirm_p50_virtual_ns".into(),
+            Value::String(baseline::percentile(&av, 50.0).to_string()),
+        ),
+        (
+            "affirm_p99_virtual_ns".into(),
+            Value::String(baseline::percentile(&av, 99.0).to_string()),
+        ),
+        // Wall-clock figures below are machine-dependent: informational.
+        (
+            "ops_per_sec_wall".into(),
+            Value::String(format!("{:.0}", MESSAGES as f64 / wall_secs)),
+        ),
+        (
+            "guess_p50_wall_ns".into(),
+            Value::String(baseline::percentile(&gw, 50.0).to_string()),
+        ),
+        (
+            "guess_p99_wall_ns".into(),
+            Value::String(baseline::percentile(&gw, 99.0).to_string()),
+        ),
+        (
+            "affirm_p50_wall_ns".into(),
+            Value::String(baseline::percentile(&aw, 50.0).to_string()),
+        ),
+        (
+            "affirm_p99_wall_ns".into(),
+            Value::String(baseline::percentile(&aw, 99.0).to_string()),
+        ),
+    ]);
+    baseline::finish(
+        "BENCH_throughput.json",
+        &fresh,
+        &[
+            "registrations",
+            "total_hope_messages",
+            "tag_bytes_wire",
+            "guess_p99_virtual_ns",
+        ],
+        2.0,
+    );
+}

@@ -10,13 +10,18 @@
 //! * `fig14_cycles` — interference rings, Algorithm 1 vs. Algorithm 2,
 //! * `rpc_improvement` — dependent-chain RPC improvement (E3),
 //! * `waitfree` — primitive cost vs. latency (E4),
-//! * `quadratic` — dependency-tracking cost (E5),
+//! * `quadratic` — dependency-tracking cost (E5); also maintains the
+//!   committed `BENCH_quadratic.json` perf baseline,
+//! * `throughput` — reliable-link streaming under speculation (E-perf);
+//!   maintains `BENCH_throughput.json`,
 //! * `rollback_depth` — replay cost (E6),
 //! * `ablation_policies` — the RetractPolicy / DenyPolicy /
 //!   GuessRollbackPolicy design choices compared head-to-head.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod baseline;
 
 use hope_sim::table::Table;
 

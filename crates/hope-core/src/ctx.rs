@@ -122,7 +122,11 @@ impl<'a> ProcessCtx<'a> {
     }
 
     /// Registers interval `iid` with every assumption in `members` by
-    /// sending `Guess` messages (the DOM registration of §5.2).
+    /// sending `Guess` messages (the DOM registration of §5.2). With delta
+    /// registration `members` holds only *newly acquired* assumptions —
+    /// inherited ones are already registered at an older interval whose
+    /// rollback would doom this one anyway (DESIGN.md S7) — so an interval
+    /// open costs one batch of `|delta|` registrations, not `|IDO|`.
     fn register_guesses(&mut self, iid: IntervalId, members: &IdoSet) {
         for &aid in members.iter() {
             self.sys.send(
@@ -235,17 +239,24 @@ impl<'a> ProcessCtx<'a> {
         self.check_rollback();
         self.metrics.guesses.fetch_add(1, Ordering::Relaxed);
         let op = self.log.record(Op::Guess { aid, outcome: true });
-        let (iid, members) = {
+        let (iid, delta) = {
             let mut lib = self.lib.lock();
             let iid = lib
                 .history
                 .open_interval(IntervalOrigin::ExplicitGuess { op }, [aid]);
-            (iid, lib.history.current().ido.clone())
+            let pos = lib.history.intervals().len() - 1;
+            // Register only the fresh guess, and only when no older live
+            // interval already holds it (delta registration — the §6
+            // quadratic re-registration of the whole inherited set is
+            // substituted per DESIGN.md S7).
+            let delta = if lib.history.held_before(pos, &aid) {
+                IdoSet::new()
+            } else {
+                IdoSet::singleton(aid)
+            };
+            (iid, delta)
         };
-        // Register the new interval with every assumption it depends on —
-        // the inherited set plus the fresh guess (quadratic by design; see
-        // DESIGN.md experiment E5).
-        self.register_guesses(iid, &members);
+        self.register_guesses(iid, &delta);
         true
     }
 
@@ -459,15 +470,24 @@ impl<'a> ProcessCtx<'a> {
                     self.metrics
                         .implicit_guesses
                         .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
-                    let (iid, members) = {
+                    let (iid, delta) = {
                         let mut lib = self.lib.lock();
                         let iid = lib.history.open_interval(
                             IntervalOrigin::ImplicitReceive { op },
                             msg.tag.iter().copied(),
                         );
-                        (iid, lib.history.current().ido.clone())
+                        let pos = lib.history.intervals().len() - 1;
+                        // Delta registration: only tag members this process
+                        // is not already registered for (DESIGN.md S7).
+                        let delta: IdoSet = msg
+                            .tag
+                            .iter()
+                            .filter(|y| !lib.history.held_before(pos, y))
+                            .copied()
+                            .collect();
+                        (iid, delta)
                     };
-                    self.register_guesses(iid, &members);
+                    self.register_guesses(iid, &delta);
                 }
                 Delivery {
                     src,
@@ -508,15 +528,23 @@ impl<'a> ProcessCtx<'a> {
                 self.metrics
                     .implicit_guesses
                     .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
-                let (iid, members) = {
+                let (iid, delta) = {
                     let mut lib = self.lib.lock();
                     let iid = lib.history.open_interval(
                         IntervalOrigin::ImplicitReceive { op },
                         msg.tag.iter().copied(),
                     );
-                    (iid, lib.history.current().ido.clone())
+                    let pos = lib.history.intervals().len() - 1;
+                    // Delta registration: see `receive`.
+                    let delta: IdoSet = msg
+                        .tag
+                        .iter()
+                        .filter(|y| !lib.history.held_before(pos, y))
+                        .copied()
+                        .collect();
+                    (iid, delta)
                 };
-                self.register_guesses(iid, &members);
+                self.register_guesses(iid, &delta);
             }
             Delivery {
                 src,

@@ -193,7 +193,16 @@ fn perform_rollback(
         };
         let retract = state.config().retract_policy;
         let guess_policy = state.config().guess_rollback;
-        let discarded = state.history.truncate_from(target).unwrap_or_default();
+        // `target` was just selected from the live non-definite intervals,
+        // so truncation cannot legitimately fail: a typed refusal here is
+        // a protocol bug, not a stale message.
+        let discarded = match state.history.truncate_from(target) {
+            Ok(discarded) => discarded,
+            Err(err) => {
+                debug_assert!(false, "rollback target {target} must be truncatable: {err}");
+                Vec::new()
+            }
+        };
         if retract == RetractPolicy::Deny {
             for rec in &discarded {
                 for &aid in rec.iha.iter() {
@@ -317,6 +326,7 @@ pub struct HopeEnvBuilder {
     trace_capacity: usize,
     faults: Option<FaultPlan>,
     durable: Option<DurableConfig>,
+    reliable: bool,
 }
 
 impl Default for HopeEnvBuilder {
@@ -329,6 +339,7 @@ impl Default for HopeEnvBuilder {
             trace_capacity: 0,
             faults: None,
             durable: None,
+            reliable: false,
         }
     }
 }
@@ -389,6 +400,15 @@ impl HopeEnvBuilder {
         self
     }
 
+    /// Forces the reliable-delivery sublayer on even with a lossless wire
+    /// (implied by [`HopeEnvBuilder::faults`]). Benchmarks use this to
+    /// account per-link sequencing, acks and dependency-tag wire coding
+    /// without also paying for injected faults.
+    pub fn reliable(mut self, on: bool) -> Self {
+        self.reliable = on;
+        self
+    }
+
     /// Injects runtime faults (drops, duplicates, crash/restarts) per
     /// `plan`; enables the reliable-delivery sublayer and HOPElib crash
     /// recovery via operation-log replay.
@@ -413,7 +433,8 @@ impl HopeEnvBuilder {
             .seed(self.seed)
             .network(self.network)
             .max_events(self.max_events)
-            .trace(self.trace_capacity);
+            .trace(self.trace_capacity)
+            .reliable(self.reliable);
         let storage = self
             .faults
             .as_ref()

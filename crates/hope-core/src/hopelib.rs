@@ -190,9 +190,24 @@ impl LibState {
     }
 
     /// Figure 15, `Replace` case (Figure 10 when `cycle_detection` is off):
-    /// substitute the sending AID with its replacement set in the target
-    /// interval's IDO, registering with any newly acquired assumptions and
-    /// discarding ones the interval already escaped from (`UDO`).
+    /// substitute the sending AID with its replacement set, registering
+    /// with any newly acquired assumptions and discarding ones already
+    /// escaped from (`UDO`).
+    ///
+    /// Delta registration (DESIGN.md S7): under the paper's formulation,
+    /// every interval holding an AID registers with it individually, so
+    /// the AID sends one `Replace` per holder and a stack of N nested
+    /// guesses costs ~N²/2 protocol messages. Here the *earliest* live
+    /// interval holding an AID is its sole registrant, so a `Replace`
+    /// arrives addressed to that registrant and is applied to it *and*
+    /// to every later live interval that also holds the sender — the
+    /// substitution all of them would have received their own copies of.
+    /// This is sound because rollback is suffix-truncation: any
+    /// `Rollback` aimed at the registrant also dooms every later holder,
+    /// giving the same rollback floor as per-holder registration.
+    /// Likewise, a `Guess` is sent for a newly acquired assumption only
+    /// when no older live interval already holds it (the process would
+    /// otherwise already be registered at an equal-or-lower floor).
     fn handle_replace(
         &mut self,
         sender: AidId,
@@ -201,27 +216,46 @@ impl LibState {
         api: &mut dyn ControlApi,
     ) {
         let cycle_detection = self.config.cycle_detection;
+        let Some(target) = self.history.position_of(iid) else {
+            return; // stale
+        };
+        if self.history.intervals()[target].definite {
+            return;
+        }
         let mut cycles_broken = 0u64;
-        {
-            let Some(rec) = self.history.get_mut(iid) else {
-                return; // stale
-            };
-            if rec.definite {
-                return;
+        for pos in target..self.history.intervals().len() {
+            {
+                let rec = &self.history.intervals()[pos];
+                // The registrant applies the substitution unconditionally;
+                // later intervals only when they inherited the sender.
+                if rec.definite || (pos > target && !rec.ido.contains(&sender)) {
+                    continue;
+                }
             }
+            let pos_iid = self.history.intervals()[pos].id;
             for &y in replacement.iter() {
+                let rec = &self.history.intervals()[pos];
                 if cycle_detection && rec.udo.contains(&y) {
                     // The interval already escaped Y once: this replacement
                     // closes a dependency cycle. Discard it (Figure 15).
                     cycles_broken += 1;
                     continue;
                 }
-                if rec.ido.insert(y) {
-                    // Register with the newly acquired assumption so its
-                    // Replace/Rollback traffic reaches this interval.
-                    api.send(y.process(), Payload::Hope(HopeMessage::Guess { iid }));
+                if rec.ido.contains(&y) {
+                    continue;
+                }
+                let registered = self.history.held_before(pos, &y);
+                self.history.intervals_mut()[pos].ido.insert(y);
+                if !registered {
+                    // First acquisition across the whole history suffix:
+                    // this interval becomes Y's registrant.
+                    api.send(
+                        y.process(),
+                        Payload::Hope(HopeMessage::Guess { iid: pos_iid }),
+                    );
                 }
             }
+            let rec = &mut self.history.intervals_mut()[pos];
             rec.ido.remove(&sender);
             rec.udo.insert(sender);
         }
@@ -505,6 +539,48 @@ mod tests {
         assert_eq!(api.sent.len(), 1);
         assert_eq!(api.sent[0].0, aid(2).process());
         assert!(matches!(api.sent[0].1, HopeMessage::Guess { iid: g } if g == iid));
+    }
+
+    #[test]
+    fn replace_propagates_to_later_holders_with_one_registration() {
+        let mut lib = bound_lib();
+        let a = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        let b = lib
+            .history
+            .open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        // Under delta registration only `a` (the earliest holder of
+        // aid(1)) is registered with it, so the Replace arrives addressed
+        // to `a` — but `b` inherited the dependency and must be
+        // substituted too, with exactly one Guess for the replacement.
+        let mut api = FakeApi::default();
+        lib.handle_control(
+            aid(1).process(),
+            HopeMessage::Replace {
+                iid: a,
+                ido: IdoSet::singleton(aid(3)),
+            },
+            &mut api,
+        );
+        let ra = lib.history.get(a).unwrap();
+        let rb = lib.history.get(b).unwrap();
+        assert_eq!(ra.ido.as_slice(), &[aid(3)]);
+        assert!(ra.udo.contains(&aid(1)));
+        assert!(!rb.ido.contains(&aid(1)), "later holder substituted too");
+        assert!(rb.ido.contains(&aid(3)));
+        assert!(rb.udo.contains(&aid(1)));
+        let guesses: Vec<_> = api
+            .sent
+            .iter()
+            .filter(|(_, m)| matches!(m, HopeMessage::Guess { .. }))
+            .collect();
+        assert_eq!(guesses.len(), 1, "one registration for the whole suffix");
+        assert_eq!(guesses[0].0, aid(3).process());
+        assert!(
+            matches!(guesses[0].1, HopeMessage::Guess { iid } if iid == a),
+            "the earliest acquiring interval is the registrant"
+        );
     }
 
     #[test]

@@ -13,10 +13,19 @@
 //!   interval is definite (optional policy; see [`DenyPolicy`]).
 //!
 //! A new interval inherits its predecessor's cumulative `IDO` plus the
-//! newly guessed assumption, and re-registers with every inherited AID —
-//! the source of the quadratic cost the paper's §6 promises to analyze.
+//! newly guessed assumption. The paper's §6 formulation re-registers with
+//! every inherited AID — the source of the quadratic cost §6 promises to
+//! analyze. This implementation substitutes *delta registration* (DESIGN.md
+//! §6): the inherited prefix is shared copy-on-write ([`IdSet`] keeps large
+//! sets behind an `Arc`), and a `Guess` is sent only for assumptions the
+//! process is not already registered for — the earliest live interval
+//! holding an AID is its registrant, which preserves every rollback floor
+//! because rolling back the registrant also discards all later intervals.
 //!
 //! [`DenyPolicy`]: crate::config::DenyPolicy
+//! [`IdSet`]: hope_types::IdSet
+
+use std::fmt;
 
 use hope_types::{AidId, IdoSet, IntervalId, ProcessId};
 
@@ -40,6 +49,31 @@ pub enum IntervalOrigin {
         op: usize,
     },
 }
+
+/// Why [`History::truncate_from`] refused to truncate. Distinguishing the
+/// two lets callers treat an unknown id as a stale protocol message while
+/// surfacing a rollback aimed at the root interval — which a correct
+/// protocol never produces — as the bug it would be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncateError {
+    /// The id names the root interval, which is definite by construction
+    /// and can never roll back.
+    RootInterval,
+    /// The id does not name a live interval (already truncated, or never
+    /// existed): the request is stale and safely ignorable.
+    UnknownInterval,
+}
+
+impl fmt::Display for TruncateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TruncateError::RootInterval => write!(f, "cannot roll back the root interval"),
+            TruncateError::UnknownInterval => write!(f, "interval is not live (stale rollback)"),
+        }
+    }
+}
+
+impl std::error::Error for TruncateError {}
 
 /// One interval of a process history, with its dependency sets.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -110,6 +144,28 @@ impl History {
         &self.intervals
     }
 
+    /// Mutable access to the live intervals (protocol handlers apply a
+    /// `Replace` to the target *and* every later interval holding the
+    /// replaced AID).
+    pub(crate) fn intervals_mut(&mut self) -> &mut [IntervalRecord] {
+        &mut self.intervals
+    }
+
+    /// Position of a live interval in the history, oldest first.
+    pub(crate) fn position_of(&self, id: IntervalId) -> Option<usize> {
+        self.intervals.iter().position(|r| r.id == id)
+    }
+
+    /// True when a live interval strictly older than position `pos` holds
+    /// `y` in its IDO — i.e. this process is already registered with `y`
+    /// at a rollback floor at or below `pos`, so acquiring `y` at `pos`
+    /// needs no new `Guess` (delta registration, DESIGN.md S7).
+    pub(crate) fn held_before(&self, pos: usize, y: &AidId) -> bool {
+        self.intervals[..pos]
+            .iter()
+            .any(|r| !r.definite && r.ido.contains(y))
+    }
+
     /// The youngest (current) interval.
     pub fn current(&self) -> &IntervalRecord {
         self.intervals.last().expect("history never empty")
@@ -152,6 +208,8 @@ impl History {
         let id = IntervalId::new(self.process, self.next_index);
         self.next_index += 1;
         let trigger: IdoSet = extra.into_iter().collect();
+        // O(1): large cumulative sets are Arc-shared until a mutation, and
+        // an extend that adds nothing keeps the sharing.
         let mut ido = self.current().ido.clone();
         ido.extend(trigger.iter().copied());
         self.intervals.push(IntervalRecord {
@@ -168,18 +226,26 @@ impl History {
     }
 
     /// Discards interval `id` and every later interval, returning the
-    /// discarded records (newest last). Returns `None` if `id` is not live.
+    /// discarded records (newest last). Refuses with a typed
+    /// [`TruncateError`] distinguishing a stale id
+    /// ([`UnknownInterval`](TruncateError::UnknownInterval)) from an
+    /// attempt to roll back the definite root interval
+    /// ([`RootInterval`](TruncateError::RootInterval)) — the latter can
+    /// only come from a protocol bug and must not masquerade as a stale
+    /// message.
     ///
     /// Interval indices are *not* reused afterwards, so protocol messages
     /// addressed to discarded intervals are recognizably stale.
-    pub fn truncate_from(&mut self, id: IntervalId) -> Option<Vec<IntervalRecord>> {
-        let pos = self.intervals.iter().position(|r| r.id == id)?;
+    pub fn truncate_from(&mut self, id: IntervalId) -> Result<Vec<IntervalRecord>, TruncateError> {
+        let pos = self
+            .intervals
+            .iter()
+            .position(|r| r.id == id)
+            .ok_or(TruncateError::UnknownInterval)?;
         if pos == 0 {
-            // The root interval is definite and cannot roll back; callers
-            // guard against this, but be safe.
-            return None;
+            return Err(TruncateError::RootInterval);
         }
-        Some(self.intervals.split_off(pos))
+        Ok(self.intervals.split_off(pos))
     }
 
     /// Marks every finalizable interval definite, oldest-first: an interval
@@ -260,16 +326,46 @@ mod tests {
     }
 
     #[test]
-    fn truncate_refuses_root() {
+    fn truncate_refuses_root_with_typed_error() {
         let mut h = History::new(pid(1));
         let root = h.current().id;
-        assert!(h.truncate_from(root).is_none());
+        assert_eq!(h.truncate_from(root), Err(TruncateError::RootInterval));
     }
 
     #[test]
-    fn truncate_unknown_id_is_none() {
+    fn truncate_unknown_id_is_distinguishable_from_root_refusal() {
         let mut h = History::new(pid(1));
-        assert!(h.truncate_from(IntervalId::new(pid(1), 42)).is_none());
+        assert_eq!(
+            h.truncate_from(IntervalId::new(pid(1), 42)),
+            Err(TruncateError::UnknownInterval)
+        );
+    }
+
+    #[test]
+    fn open_interval_shares_inherited_ido_storage() {
+        let mut h = History::new(pid(1));
+        // A cumulative set large enough to live in shared storage.
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, (0..16).map(aid));
+        let b = h.open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, []);
+        let (ra, rb) = (h.get(a).unwrap(), h.get(b).unwrap());
+        assert!(
+            ra.ido.shares_storage(&rb.ido),
+            "inheritance must be copy-on-write, not a deep clone"
+        );
+    }
+
+    #[test]
+    fn held_before_sees_only_older_live_intervals() {
+        let mut h = History::new(pid(1));
+        let a = h.open_interval(IntervalOrigin::ExplicitGuess { op: 0 }, [aid(1)]);
+        h.open_interval(IntervalOrigin::ExplicitGuess { op: 1 }, [aid(2)]);
+        assert!(h.held_before(2, &aid(1)), "inherited from interval a");
+        assert!(!h.held_before(1, &aid(2)), "aid(2) only appears later");
+        assert!(!h.held_before(0, &aid(1)), "nothing precedes the root");
+        // A definite interval's registration is spent: it no longer counts.
+        h.get_mut(a).unwrap().ido.clear();
+        h.get_mut(a).unwrap().definite = true;
+        assert!(!h.held_before(2, &aid(1)));
     }
 
     #[test]

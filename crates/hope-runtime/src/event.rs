@@ -8,8 +8,17 @@ use hope_types::{Envelope, ProcessId, VirtualTime};
 /// What happens when an event fires.
 #[derive(Debug)]
 pub(crate) enum EventKind {
-    /// A message arrives at its destination.
-    Deliver(Envelope),
+    /// A message arrives at its destination. `copy` records how this
+    /// particular on-the-wire copy came to exist (original transmission,
+    /// fault-injected duplicate, or sublayer retransmission) so dedup
+    /// suppressions can be attributed; it is accounting metadata only and
+    /// deliberately excluded from scheduling descriptions and content
+    /// hashes — two copies of one message stay interchangeable to the
+    /// model checker.
+    Deliver {
+        env: Envelope,
+        copy: crate::reliable::CopyKind,
+    },
     /// A process finishes a compute step (or starts for the first time).
     Wake(ProcessId),
     /// A scheduled fault takes the process down until `up_at` (see
@@ -130,7 +139,7 @@ mod tests {
     fn pid_of(kind: &EventKind) -> u64 {
         match kind {
             EventKind::Wake(p) => p.as_raw(),
-            EventKind::Deliver(_)
+            EventKind::Deliver { .. }
             | EventKind::Crash { .. }
             | EventKind::Restart(_)
             | EventKind::Retransmit { .. } => unreachable!(),

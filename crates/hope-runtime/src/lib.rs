@@ -78,7 +78,7 @@ pub use actor::{Actor, ActorApi, NullActor};
 pub use control::{ControlApi, ControlHandler, NullControl};
 pub use fault::{CrashPoint, FaultModel, FaultPlan, StorageFaultPlan, WireFate};
 pub use net::{LatencyModel, NetworkConfig};
-pub use reliable::{AckOutcome, LinkId, ReliableState, RttEstimator};
+pub use reliable::{AckOutcome, CopyKind, LinkId, ReliableState, RttEstimator, TagDecode};
 pub use runtime::{ProcessStatus, RuntimeBuilder, SimRuntime};
 pub use sched::{EventDesc, PendingEvent, SchedulePolicy};
 pub use stats::{LinkStats, MessageStats, PartyKind, RunReport};

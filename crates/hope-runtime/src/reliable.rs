@@ -34,10 +34,40 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use hope_types::{Envelope, ProcessId};
+use hope_types::{Envelope, IdoSet, ProcessId, SetCoding, TagDecoder, TagEncoder};
 
 /// A directed link: (sender, receiver).
 pub type LinkId = (ProcessId, ProcessId);
+
+/// How one on-the-wire copy of an envelope came to exist — the provenance
+/// both runtimes thread through to delivery so receiver-side dedup can
+/// attribute each suppression to its actual cause instead of lumping
+/// fault-injected wire duplicates together with the sublayer's own
+/// retransmissions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CopyKind {
+    /// The first transmission of the envelope.
+    Original,
+    /// An extra copy the fault model injected on the wire.
+    WireDup,
+    /// A copy resent by a reliable-sublayer retransmission timer.
+    Retransmit,
+}
+
+/// Outcome of reconstructing a piggybacked dependency tag at delivery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagDecode {
+    /// No coding travelled with this envelope (codec not engaged for it,
+    /// or an earlier copy of the same sequence number already consumed it).
+    Uncoded,
+    /// The tag reconstructed from the wire coding.
+    Decoded(IdoSet),
+    /// A delta referenced a base this side no longer holds (the receiver
+    /// crashed after the frame was encoded). The typed in-memory tag is
+    /// authoritative; the link resynchronizes via `Full` codings once
+    /// post-restart sends begin.
+    LostBase,
+}
 
 /// Receiver-side record of which sequence numbers a link has delivered.
 ///
@@ -148,6 +178,14 @@ pub struct ReliableState {
     seen: BTreeMap<LinkId, SeqWindow>,
     rtt: BTreeMap<LinkId, RttEstimator>,
     retransmitted: BTreeSet<(LinkId, u64)>,
+    /// Sender-side dependency-tag codecs, one per outgoing link.
+    tag_enc: BTreeMap<LinkId, TagEncoder>,
+    /// Receiver-side dependency-tag codecs, one per incoming link.
+    tag_dec: BTreeMap<LinkId, TagDecoder>,
+    /// Codings on the wire: what the frame for `(link, seq)` carries in
+    /// place of the full tag. Retransmissions resend the same coding;
+    /// the first delivered copy consumes it.
+    tag_in_transit: BTreeMap<(LinkId, u64), SetCoding>,
     initial_rto: u64,
 }
 
@@ -173,6 +211,9 @@ impl ReliableState {
             seen: BTreeMap::new(),
             rtt: BTreeMap::new(),
             retransmitted: BTreeSet::new(),
+            tag_enc: BTreeMap::new(),
+            tag_dec: BTreeMap::new(),
+            tag_in_transit: BTreeMap::new(),
             initial_rto: initial_rto_nanos.max(1),
         }
     }
@@ -199,6 +240,9 @@ impl ReliableState {
     /// when the receive time is known.
     pub fn acknowledge(&mut self, link: LinkId, seq: u64) -> bool {
         self.retransmitted.remove(&(link, seq));
+        if let Some(enc) = self.tag_enc.get_mut(&link) {
+            enc.on_ack(seq);
+        }
         self.pending.remove(&(link, seq)).is_some()
     }
 
@@ -207,6 +251,9 @@ impl ReliableState {
     /// (Karn's rule), feeds `now - sent_at` to the link's RTT estimator.
     pub fn acknowledge_at(&mut self, link: LinkId, seq: u64, now_nanos: u64) -> AckOutcome {
         let was_retransmitted = self.retransmitted.remove(&(link, seq));
+        if let Some(enc) = self.tag_enc.get_mut(&link) {
+            enc.on_ack(seq);
+        }
         let Some(envelope) = self.pending.remove(&(link, seq)) else {
             return AckOutcome {
                 retired: false,
@@ -275,6 +322,7 @@ impl ReliableState {
     /// if it was still pending (i.e. the message is now known lost).
     pub fn abandon(&mut self, link: LinkId, seq: u64) -> bool {
         self.retransmitted.remove(&(link, seq));
+        self.tag_in_transit.remove(&(link, seq));
         self.pending.remove(&(link, seq)).is_some()
     }
 
@@ -287,6 +335,58 @@ impl ReliableState {
     /// Number of envelopes awaiting acknowledgement (diagnostics).
     pub fn in_flight(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Sender side of the dependency-tag codec: encodes `tag` for the
+    /// envelope carrying `seq` on `link` — a delta against the last set
+    /// the peer acknowledged when one is usable, the full set otherwise —
+    /// and records the coding as in transit so delivery (including of a
+    /// later retransmitted copy) can reconstruct it.
+    pub fn encode_tag(&mut self, link: LinkId, seq: u64, tag: &IdoSet) -> SetCoding {
+        let coding = self.tag_enc.entry(link).or_default().encode(seq, tag);
+        self.tag_in_transit.insert((link, seq), coding.clone());
+        coding
+    }
+
+    /// Receiver side of the dependency-tag codec: consumes the in-transit
+    /// coding for `(link, seq)` and reconstructs the tag it carried. Call
+    /// only for the first delivered copy of a sequence number.
+    pub fn decode_tag(&mut self, link: LinkId, seq: u64) -> TagDecode {
+        let Some(coding) = self.tag_in_transit.remove(&(link, seq)) else {
+            return TagDecode::Uncoded;
+        };
+        match self.tag_dec.entry(link).or_default().decode(seq, &coding) {
+            Some(set) => TagDecode::Decoded(set),
+            None => TagDecode::LostBase,
+        }
+    }
+
+    /// Drops the link state a crash of `pid` genuinely loses, and nothing
+    /// more:
+    ///
+    /// * RTT estimators for links touching `pid` — link-quality estimates
+    ///   are in-memory and a restarted process re-learns them;
+    /// * Karn markers for `pid`'s outgoing links — ambiguous-sample
+    ///   bookkeeping tied to those estimators;
+    /// * dependency-tag codec state for links touching `pid`, in both
+    ///   directions — a sender's "the peer holds my acked base" belief is
+    ///   void once the peer restarts, so the next send is forced `Full`
+    ///   (the codec's resync path).
+    ///
+    /// Deliberately survives: `next_seq` (reusing sequence numbers would
+    /// alias distinct messages in the dedup windows), `seen` (clearing a
+    /// window would let a stale pre-crash packet re-deliver, breaking
+    /// exactly-once), and `pending` (the retransmit buffer is the only
+    /// thing that carries an unacked message past the down window —
+    /// crash-recovery replay re-executes sends' effects locally but does
+    /// not put them back on the wire).
+    pub fn on_crash(&mut self, pid: ProcessId) {
+        self.rtt.retain(|link, _| link.0 != pid && link.1 != pid);
+        self.retransmitted.retain(|(link, _)| link.0 != pid);
+        self.tag_enc
+            .retain(|link, _| link.0 != pid && link.1 != pid);
+        self.tag_dec
+            .retain(|link, _| link.0 != pid && link.1 != pid);
     }
 }
 
@@ -442,6 +542,83 @@ mod tests {
         let dup = st.acknowledge_at(link, 1, 2_000);
         assert!(!dup.retired);
         assert_eq!(dup.rtt_sample_nanos, None);
+    }
+
+    #[test]
+    fn tag_codec_round_trips_through_link_state() {
+        let mut st = ReliableState::new();
+        let link = (p(1), p(2));
+        let tag: IdoSet = [hope_types::AidId::from_raw(p(9))].into_iter().collect();
+        let seq = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq, &tag);
+        assert!(
+            matches!(coding, SetCoding::Full { .. }),
+            "no acked base yet"
+        );
+        assert_eq!(st.decode_tag(link, seq), TagDecode::Decoded(tag.clone()));
+        // A later duplicate copy of the same seq finds the coding consumed.
+        assert_eq!(st.decode_tag(link, seq), TagDecode::Uncoded);
+        // Once the first frame is acked, growth ships as a delta.
+        st.track(env(1, 2, seq));
+        st.acknowledge(link, seq);
+        let mut bigger = tag.clone();
+        bigger.insert(hope_types::AidId::from_raw(p(10)));
+        let seq2 = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq2, &bigger);
+        assert!(matches!(coding, SetCoding::Delta { base_seq, .. } if base_seq == seq));
+        assert_eq!(st.decode_tag(link, seq2), TagDecode::Decoded(bigger));
+    }
+
+    #[test]
+    fn crash_restart_then_stale_packet_stays_exactly_once() {
+        // Regression: a packet sent before the receiver crashed arrives
+        // again after its restart (retransmit raced the crash window). The
+        // dedup window must survive the crash so the stale copy is still
+        // suppressed, and the codec — whose state the crash *does* lose —
+        // must degrade to LostBase instead of panicking.
+        let mut st = ReliableState::new();
+        let link = (p(1), p(2));
+        let tag: IdoSet = [hope_types::AidId::from_raw(p(7))].into_iter().collect();
+        let seq1 = st.assign_seq(link);
+        st.encode_tag(link, seq1, &tag);
+        assert!(st.accept(link, seq1), "first delivery before the crash");
+        assert_eq!(st.decode_tag(link, seq1), TagDecode::Decoded(tag.clone()));
+        st.track(env(1, 2, seq1));
+        st.acknowledge(link, seq1);
+        // A second frame is encoded (as a delta against seq1) but the
+        // receiver crashes before it arrives.
+        let seq2 = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq2, &tag);
+        assert!(matches!(coding, SetCoding::Delta { .. }));
+        st.on_crash(p(2));
+        // Stale copy of seq1 after restart: still deduplicated.
+        assert!(!st.accept(link, seq1), "exactly-once survives the crash");
+        // The in-flight delta's base is gone on the restarted side.
+        assert!(st.accept(link, seq2));
+        assert_eq!(st.decode_tag(link, seq2), TagDecode::LostBase);
+        // Post-restart traffic resynchronizes with a Full coding.
+        let seq3 = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq3, &tag);
+        assert!(matches!(coding, SetCoding::Full { .. }));
+        assert!(st.accept(link, seq3));
+        assert_eq!(st.decode_tag(link, seq3), TagDecode::Decoded(tag));
+    }
+
+    #[test]
+    fn on_crash_clears_rtt_but_keeps_delivery_obligations() {
+        let mut st = ReliableState::with_rto(5_000_000);
+        let link = (p(1), p(2));
+        assert_eq!(st.assign_seq(link), 1);
+        st.track(env(1, 2, 1));
+        st.acknowledge_at(link, 1, 1_000_000);
+        assert_eq!(st.assign_seq(link), 2);
+        assert!(st.srtt_for(link).is_some());
+        st.track(env(1, 2, 2));
+        st.on_crash(p(2));
+        assert_eq!(st.srtt_for(link), None, "estimator is volatile");
+        assert_eq!(st.rto_for(link), 5_000_000, "back to the initial rto");
+        assert!(st.unacked(link, 2).is_some(), "retransmit buffer survives");
+        assert_eq!(st.assign_seq(link), 3, "sequence numbers never restart");
     }
 
     #[test]

@@ -9,7 +9,8 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use hope_types::{
-    Envelope, HopeError, HopeMessage, Payload, ProcessId, VirtualDuration, VirtualTime,
+    full_set_wire_len, Envelope, HopeError, HopeMessage, Payload, ProcessId, VirtualDuration,
+    VirtualTime,
 };
 
 use crate::actor::Actor;
@@ -17,7 +18,7 @@ use crate::control::ControlHandler;
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
-use crate::reliable::{backoff_nanos, LinkId, ReliableState};
+use crate::reliable::{backoff_nanos, CopyKind, LinkId, ReliableState, TagDecode};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 use crate::threadproc::{Resume, Shared, SpawnKind, SpawnRequest, ThreadCtx, YieldMsg};
@@ -417,7 +418,7 @@ impl SimRuntime {
                 Some(&up_at) => self.queue.push(up_at, EventKind::Wake(pid)),
                 None => self.wake(pid),
             },
-            EventKind::Deliver(env) => self.deliver(env),
+            EventKind::Deliver { env, copy } => self.deliver(env, copy),
             EventKind::Crash { pid, up_at } => self.crash(pid, up_at),
             EventKind::Restart(pid) => self.restart(pid),
             EventKind::Retransmit { link, seq, attempt } => self.retransmit(link, seq, attempt),
@@ -663,6 +664,17 @@ impl SimRuntime {
                 let link: LinkId = (src, dst);
                 env.seq = rel.assign_seq(link);
                 rel.track(env.clone());
+                // Piggybacked dependency tags travel delta-coded against
+                // the last set acked on this link; the typed envelope still
+                // carries the full tag in memory, so this is the wire-cost
+                // model (accounted in LinkStats) plus an end-to-end check
+                // at delivery.
+                if let Payload::User(m) = &env.payload {
+                    let coding = rel.encode_tag(link, env.seq, &m.tag);
+                    self.stats
+                        .link_mut()
+                        .record_tag(full_set_wire_len(&m.tag), &coding);
+                }
                 // The first timer uses the link's adapted RTO (the
                 // configured rto until samples arrive).
                 let rto = rel.rto_for(link);
@@ -676,12 +688,14 @@ impl SimRuntime {
                 );
             }
         }
-        self.transmit(env, sent_at);
+        self.transmit(env, sent_at, CopyKind::Original);
     }
 
     /// Puts one envelope on the wire: consults the fault model, then
     /// schedules delivery (and possibly a duplicate) with sampled latency.
-    fn transmit(&mut self, env: Envelope, at: VirtualTime) {
+    /// `copy` records this transmission's provenance; a fault-injected
+    /// extra copy is always tagged [`CopyKind::WireDup`].
+    fn transmit(&mut self, env: Envelope, at: VirtualTime, copy: CopyKind) {
         let fate = match self.fault.as_mut() {
             Some(model) => model.wire_fate(),
             None => WireFate::CLEAN,
@@ -693,15 +707,28 @@ impl SimRuntime {
         if fate.duplicate {
             let extra = self.latency.sample(env.src, env.dst, at);
             self.stats.link_mut().duplicated += 1;
-            self.queue.push(at + extra, EventKind::Deliver(env.clone()));
+            self.queue.push(
+                at + extra,
+                EventKind::Deliver {
+                    env: env.clone(),
+                    copy: CopyKind::WireDup,
+                },
+            );
         }
         let latency = self.latency.sample(env.src, env.dst, at);
-        self.queue.push(at + latency, EventKind::Deliver(env));
+        self.queue
+            .push(at + latency, EventKind::Deliver { env, copy });
     }
 
     fn crash(&mut self, pid: ProcessId, up_at: VirtualTime) {
         if self.down.insert(pid.as_raw(), up_at).is_some() {
             return; // overlapping crash windows merge
+        }
+        // The link layer loses only what a crash genuinely destroys (RTT
+        // estimates, tag-codec state); dedup windows and retransmit
+        // buffers survive — see `ReliableState::on_crash`.
+        if let Some(rel) = self.rel.as_mut() {
+            rel.on_crash(pid);
         }
         // Tell the attached control handler (default no-op). A crashed
         // process sends nothing, so outgoing traffic is discarded.
@@ -792,7 +819,7 @@ impl SimRuntime {
                 attempt: next,
             },
         );
-        self.transmit(env, self.clock);
+        self.transmit(env, self.clock, CopyKind::Retransmit);
     }
 
     fn wake(&mut self, pid: ProcessId) {
@@ -807,7 +834,7 @@ impl SimRuntime {
         }
     }
 
-    fn deliver(&mut self, env: Envelope) {
+    fn deliver(&mut self, env: Envelope, copy: CopyKind) {
         let idx = env.dst.as_raw() as usize;
         if idx >= self.procs.len() {
             self.stats.link_mut().unroutable += 1;
@@ -846,8 +873,25 @@ impl SimRuntime {
                 .expect("checked above")
                 .accept((env.src, env.dst), env.seq);
             if !first {
-                self.stats.link_mut().dedup_dropped += 1;
+                self.stats.link_mut().record_dedup(copy);
                 return;
+            }
+            // Reconstruct the delta-coded dependency tag and check it
+            // against the typed tag the in-memory envelope carries.
+            if let Payload::User(m) = &env.payload {
+                let decode = self
+                    .rel
+                    .as_mut()
+                    .expect("checked above")
+                    .decode_tag((env.src, env.dst), env.seq);
+                match decode {
+                    TagDecode::Decoded(tag) => debug_assert_eq!(
+                        tag, m.tag,
+                        "wire-decoded dependency tag must equal the typed tag"
+                    ),
+                    TagDecode::LostBase => self.stats.link_mut().tag_resyncs += 1,
+                    TagDecode::Uncoded => {}
+                }
             }
         }
         let kind: &'static str = match &env.payload {

@@ -99,7 +99,8 @@ pub trait SchedulePolicy {
 /// Builds the external-scheduler view of one queued event.
 pub(crate) fn describe(ev: &Event) -> PendingEvent {
     let desc = match &ev.kind {
-        EventKind::Deliver(env) => EventDesc::Deliver {
+        // `copy` is accounting metadata, invisible to schedulers.
+        EventKind::Deliver { env, .. } => EventDesc::Deliver {
             src: env.src,
             dst: env.dst,
             kind: payload_kind(&env.payload),
@@ -135,7 +136,9 @@ pub(crate) fn content_hash(ev: &Event) -> u64 {
     let mut h = std::collections::hash_map::DefaultHasher::new();
     ev.time.as_nanos().hash(&mut h);
     match &ev.kind {
-        EventKind::Deliver(env) => {
+        // `copy` is deliberately not hashed: two in-flight copies of one
+        // message are interchangeable regardless of how they arose.
+        EventKind::Deliver { env, .. } => {
             0u8.hash(&mut h);
             hash_envelope(env, &mut h);
         }

@@ -51,8 +51,18 @@ pub struct LinkStats {
     /// never handed to a process).
     pub acks: u64,
     /// Arrivals suppressed by receiver-side dedup (retransmit raced a slow
-    /// ack, or the wire duplicated).
+    /// ack, or the wire duplicated). Always equals the sum of the three
+    /// attribution counters below.
     pub dedup_dropped: u64,
+    /// Dedup suppressions whose arriving copy was a fault-injected wire
+    /// duplicate — noise the fault model added, not sublayer overhead.
+    pub dedup_dup_faults: u64,
+    /// Dedup suppressions whose arriving copy was a sublayer
+    /// retransmission — the cost of retransmit timers racing slow acks.
+    pub dedup_retransmits: u64,
+    /// Dedup suppressions of an *original* transmission that arrived after
+    /// a faster duplicate or retransmitted copy of itself.
+    pub dedup_overtaken: u64,
     /// Messages addressed to a process the runtime never knew.
     pub unroutable: u64,
     /// Round-trip samples fed to the Jacobson/Karels estimators (acks of
@@ -64,11 +74,46 @@ pub struct LinkStats {
     /// Highest retransmission attempt any envelope reached (0-based
     /// backoff exponent; 0 when nothing was ever retransmitted).
     pub max_retransmit_attempt: u64,
+    /// Bytes the piggybacked dependency tags would have cost shipped
+    /// verbatim on every send (the pre-delta wire cost).
+    pub tag_bytes_full: u64,
+    /// Bytes the dependency tags actually cost under delta coding.
+    pub tag_bytes_wire: u64,
+    /// Tags shipped verbatim (first send on a link, or resync).
+    pub tags_full: u64,
+    /// Tags shipped as deltas against the last acked set on the link.
+    pub tags_delta: u64,
+    /// Deliveries whose delta referenced a base lost to a receiver crash;
+    /// the link falls back to the typed tag and resyncs via `Full`.
+    pub tag_resyncs: u64,
 }
 
 impl LinkStats {
     fn is_empty(&self) -> bool {
         *self == LinkStats::default()
+    }
+
+    /// Folds one encoded dependency tag into the wire accounting:
+    /// `full_bytes` is what the verbatim set would have cost, `coding`
+    /// what actually shipped.
+    pub(crate) fn record_tag(&mut self, full_bytes: usize, coding: &hope_types::SetCoding) {
+        self.tag_bytes_full += full_bytes as u64;
+        self.tag_bytes_wire += coding.wire_len() as u64;
+        match coding {
+            hope_types::SetCoding::Full { .. } => self.tags_full += 1,
+            hope_types::SetCoding::Delta { .. } => self.tags_delta += 1,
+        }
+    }
+
+    /// Records one dedup suppression, attributed to the provenance of the
+    /// arriving copy.
+    pub(crate) fn record_dedup(&mut self, kind: crate::reliable::CopyKind) {
+        self.dedup_dropped += 1;
+        match kind {
+            crate::reliable::CopyKind::Original => self.dedup_overtaken += 1,
+            crate::reliable::CopyKind::WireDup => self.dedup_dup_faults += 1,
+            crate::reliable::CopyKind::Retransmit => self.dedup_retransmits += 1,
+        }
     }
 }
 
@@ -77,8 +122,10 @@ impl fmt::Display for LinkStats {
         write!(
             f,
             "fault_dropped={} duplicated={} crash_dropped={} retransmits={} \
-             abandoned={} acks={} dedup_dropped={} unroutable={} \
-             rtt_samples={} srtt_nanos={} max_attempt={}",
+             abandoned={} acks={} dedup_dropped={} (dup_faults={} \
+             retransmit_races={} overtaken={}) unroutable={} \
+             rtt_samples={} srtt_nanos={} max_attempt={} \
+             tag_bytes={}/{} (full={} delta={} resyncs={})",
             self.fault_dropped,
             self.duplicated,
             self.crash_dropped,
@@ -86,10 +133,18 @@ impl fmt::Display for LinkStats {
             self.abandoned,
             self.acks,
             self.dedup_dropped,
+            self.dedup_dup_faults,
+            self.dedup_retransmits,
+            self.dedup_overtaken,
             self.unroutable,
             self.rtt_samples,
             self.srtt_nanos,
-            self.max_retransmit_attempt
+            self.max_retransmit_attempt,
+            self.tag_bytes_wire,
+            self.tag_bytes_full,
+            self.tags_full,
+            self.tags_delta,
+            self.tag_resyncs
         )
     }
 }

@@ -22,20 +22,20 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hope_types::{Envelope, Payload, ProcessId, VirtualDuration, VirtualTime};
+use hope_types::{full_set_wire_len, Envelope, Payload, ProcessId, VirtualDuration, VirtualTime};
 
 use crate::actor::{Actor, ActorApi};
 use crate::control::{ControlApi, ControlHandler};
 use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
-use crate::reliable::{backoff_nanos, LinkId, ReliableState};
+use crate::reliable::{backoff_nanos, CopyKind, LinkId, ReliableState, TagDecode};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 
 /// What a scheduled dispatcher item does when it comes due.
 enum Work {
-    /// Deliver one envelope.
-    Deliver(Envelope),
+    /// Deliver one envelope; `copy` is its provenance (accounting only).
+    Deliver(Envelope, CopyKind),
     /// Reliable-sublayer retransmission timer for `(link, seq)`.
     Retransmit {
         link: LinkId,
@@ -172,10 +172,22 @@ impl Inner {
                 let mut rel = rel.lock();
                 envelope.seq = rel.assign_seq(link);
                 rel.track(envelope.clone());
+                // Dependency tags travel delta-coded against the last set
+                // acked on this link (see SimRuntime::schedule_send).
+                let tag_accounting = match &envelope.payload {
+                    Payload::User(m) => Some((
+                        full_set_wire_len(&m.tag),
+                        rel.encode_tag(link, envelope.seq, &m.tag),
+                    )),
+                    _ => None,
+                };
                 // First timer on the link's adapted RTO (configured rto
                 // until round-trip samples arrive).
                 let rto = Duration::from_nanos(rel.rto_for(link));
                 drop(rel);
+                if let Some((full, coding)) = tag_accounting {
+                    self.stats.lock().link_mut().record_tag(full, &coding);
+                }
                 self.schedule(
                     Instant::now() + rto,
                     Work::Retransmit {
@@ -186,11 +198,12 @@ impl Inner {
                 );
             }
         }
-        self.transmit(envelope);
+        self.transmit(envelope, CopyKind::Original);
     }
 
     /// Puts one envelope on the wire: fault model first, then latency.
-    fn transmit(&self, envelope: Envelope) {
+    /// A fault-injected extra copy is always tagged [`CopyKind::WireDup`].
+    fn transmit(&self, envelope: Envelope, copy: CopyKind) {
         let fate = match self.fault.as_ref() {
             Some(model) => model.lock().wire_fate(),
             None => WireFate::CLEAN,
@@ -207,7 +220,7 @@ impl Inner {
             self.stats.lock().link_mut().duplicated += 1;
             self.schedule(
                 Instant::now() + Duration::from(extra),
-                Work::Deliver(envelope.clone()),
+                Work::Deliver(envelope.clone(), CopyKind::WireDup),
             );
         }
         let latency = {
@@ -216,12 +229,12 @@ impl Inner {
         };
         self.schedule(
             Instant::now() + Duration::from(latency),
-            Work::Deliver(envelope),
+            Work::Deliver(envelope, copy),
         );
     }
 
     /// Dispatcher-side delivery of one due envelope.
-    fn deliver(self: &Arc<Self>, envelope: Envelope) {
+    fn deliver(self: &Arc<Self>, envelope: Envelope, copy: CopyKind) {
         // Crashed destination: the wire is dead until restart.
         if self.down.lock().contains_key(&envelope.dst.as_raw()) {
             self.stats.lock().link_mut().crash_dropped += 1;
@@ -259,8 +272,23 @@ impl Inner {
                     Payload::Ack { seq: envelope.seq },
                 );
                 if !first {
-                    self.stats.lock().link_mut().dedup_dropped += 1;
+                    self.stats.lock().link_mut().record_dedup(copy);
                     return;
+                }
+                // Reconstruct the delta-coded dependency tag and check it
+                // against the typed tag the in-memory envelope carries.
+                if let Payload::User(m) = &envelope.payload {
+                    let decode = rel
+                        .lock()
+                        .decode_tag((envelope.src, envelope.dst), envelope.seq);
+                    match decode {
+                        TagDecode::Decoded(tag) => debug_assert_eq!(
+                            tag, m.tag,
+                            "wire-decoded dependency tag must equal the typed tag"
+                        ),
+                        TagDecode::LostBase => self.stats.lock().link_mut().tag_resyncs += 1,
+                        TagDecode::Uncoded => {}
+                    }
                 }
             }
         }
@@ -336,6 +364,11 @@ impl Inner {
     fn crash(self: &Arc<Self>, pid: ProcessId, up_at: Instant) {
         if self.down.lock().insert(pid.as_raw(), up_at).is_some() {
             return; // overlapping crash windows merge
+        }
+        // Link layer: drop only genuinely-volatile state (RTT estimates,
+        // tag-codec state); dedup windows and retransmit buffers survive.
+        if let Some(rel) = self.rel.as_ref() {
+            rel.lock().on_crash(pid);
         }
         let slot = {
             let procs = self.procs.lock();
@@ -421,7 +454,7 @@ impl Inner {
                 attempt: next,
             },
         );
-        self.transmit(envelope);
+        self.transmit(envelope, CopyKind::Retransmit);
     }
 }
 
@@ -735,7 +768,7 @@ fn dispatcher_main(inner: Arc<Inner>, rx: Receiver<Scheduled>) {
             Some(next) if next.due <= Instant::now() => {
                 let item = heap.pop().expect("peeked");
                 match item.work {
-                    Work::Deliver(envelope) => inner.deliver(envelope),
+                    Work::Deliver(envelope, copy) => inner.deliver(envelope, copy),
                     Work::Retransmit { link, seq, attempt } => inner.retransmit(link, seq, attempt),
                     Work::Crash { pid, up_at } => inner.crash(pid, up_at),
                     Work::Restart(pid) => inner.restart(pid),

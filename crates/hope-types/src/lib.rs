@@ -33,12 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delta;
 mod error;
 mod ids;
 mod message;
 mod sets;
 mod time;
 
+pub use delta::{full_set_wire_len, SetCoding, TagDecoder, TagEncoder, DEFAULT_CODEC_WINDOW};
 pub use error::HopeError;
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use message::{definite_interval, DepTag, Envelope, HopeMessage, Payload, UserMessage};

@@ -8,8 +8,8 @@
 
 use bytes::Bytes;
 use hope_types::{
-    AidId, Envelope, HopeMessage, IdSet, IdoSet, IntervalId, Payload, ProcessId, UserMessage,
-    VirtualTime,
+    AidId, Envelope, HopeMessage, IdSet, IdoSet, IntervalId, Payload, ProcessId, SetCoding,
+    TagDecoder, TagEncoder, UserMessage, VirtualTime,
 };
 use proptest::prelude::*;
 
@@ -178,6 +178,114 @@ proptest! {
         let twice = HopeMessage::decode(&once.encode()).unwrap();
         prop_assert_eq!(&once, &twice);
         prop_assert_eq!(once.encode(), twice.encode());
+    }
+
+    /// Both `SetCoding` variants survive the wire exactly, advertise
+    /// their encoded size truthfully, and the decoder rejects truncated
+    /// or padded frames — the delta path must be as strict as the full
+    /// path or loss corruption would slip through silently.
+    #[test]
+    fn set_coding_round_trips_and_rejects_damage(
+        full in any::<bool>(),
+        base in any::<u64>(),
+        a in proptest::collection::vec(any::<u64>(), 0..10),
+        b in proptest::collection::vec(any::<u64>(), 0..10),
+        cut in any::<u8>(),
+    ) {
+        let coding = if full {
+            SetCoding::Full { set: ido(&a) }
+        } else {
+            // Honest delta shape: add and del are disjoint by construction.
+            SetCoding::Delta {
+                base_seq: base,
+                add: ido(&a),
+                del: ido(&b).difference(&ido(&a)),
+            }
+        };
+        let wire = coding.encode();
+        prop_assert_eq!(wire.len(), coding.wire_len());
+        prop_assert_eq!(SetCoding::decode(&wire), Some(coding));
+        let keep = (cut as usize) % wire.len();
+        prop_assert_eq!(SetCoding::decode(&wire[..keep]), None);
+        let mut padded = wire.to_vec();
+        padded.push(0);
+        prop_assert_eq!(SetCoding::decode(&padded), None);
+    }
+
+    /// Drive an encoder/decoder pair through an arbitrary in-order but
+    /// lossy, partially acked link session: every set the decoder
+    /// reconstructs must equal the set the encoder was handed — deltas
+    /// included — and with matching windows an in-order session never
+    /// loses a delta base (acked bases are always still retained when a
+    /// delta referencing them arrives).
+    #[test]
+    fn encoder_decoder_agree_across_lossy_sessions(
+        sets in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..12), 1..40),
+        fate in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let mut enc = TagEncoder::new(6);
+        let mut dec = TagDecoder::new(6);
+        let mut acked_any = false;
+        for (i, raws) in sets.iter().enumerate() {
+            let seq = (i + 1) as u64;
+            let tag = ido(&raws.iter().copied().map(u64::from).collect::<Vec<_>>());
+            let coding = enc.encode(seq, &tag);
+            if !acked_any {
+                prop_assert!(
+                    matches!(coding, SetCoding::Full { .. }),
+                    "no acked base yet: must ship verbatim"
+                );
+            }
+            // Every coding rides the wire; round-trip it like the link does.
+            let coding = SetCoding::decode(&coding.encode()).unwrap();
+            match fate[i % fate.len()] % 3 {
+                0 => {} // lost on the wire: never decoded, never acked
+                f => {
+                    let got = dec.decode(seq, &coding);
+                    prop_assert_eq!(
+                        got,
+                        Some(tag),
+                        "in-order delivery never loses a delta base"
+                    );
+                    if f == 2 {
+                        enc.on_ack(seq);
+                        acked_any = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Receiver state loss (crash/restart) degrades but never corrupts:
+    /// an in-flight delta referencing a pre-crash base fails to decode
+    /// (it is never misapplied), and the first `Full` coding after the
+    /// sender resets resynchronizes the pair exactly.
+    #[test]
+    fn full_coding_resyncs_after_receiver_state_loss(
+        pre in proptest::collection::vec(any::<u8>(), 0..10),
+        post in proptest::collection::vec(any::<u8>(), 0..10),
+    ) {
+        let mut enc = TagEncoder::default();
+        let mut dec = TagDecoder::default();
+        let pre_tag = ido(&pre.iter().copied().map(u64::from).collect::<Vec<_>>());
+        let post_tag = ido(&post.iter().copied().map(u64::from).collect::<Vec<_>>());
+        let c1 = enc.encode(1, &pre_tag);
+        prop_assert_eq!(dec.decode(1, &c1), Some(pre_tag));
+        enc.on_ack(1);
+        // The receiver restarts while the next envelope is in flight.
+        let c2 = enc.encode(2, &post_tag);
+        prop_assert!(matches!(c2, SetCoding::Delta { .. }));
+        dec.reset();
+        prop_assert_eq!(
+            dec.decode(2, &c2),
+            None,
+            "a delta against a lost base must fail, not misapply"
+        );
+        // Session re-establishment resets the sender; resync is verbatim.
+        enc.reset();
+        let c3 = enc.encode(3, &post_tag);
+        prop_assert!(matches!(c3, SetCoding::Full { .. }));
+        prop_assert_eq!(dec.decode(3, &c3), Some(post_tag));
     }
 
     /// Dependency closure — repeatedly folding each member's own IDO set

@@ -84,6 +84,57 @@ proptest! {
         prop_assert_eq!(s.is_empty(), dedup.is_empty());
     }
 
+    /// The two-pointer merge implementations (and the inline/shared tier
+    /// split behind them) must agree with the naive `BTreeSet`
+    /// formulation on every operation, for every input.
+    #[test]
+    fn merge_ops_agree_with_naive_sets(
+        a in proptest::collection::vec(any::<u16>(), 0..40),
+        b in proptest::collection::vec(any::<u16>(), 0..40),
+    ) {
+        use std::collections::BTreeSet;
+        let (sa, sb) = (set(&a), set(&b));
+        let na: BTreeSet<u16> = a.iter().copied().collect();
+        let nb: BTreeSet<u16> = b.iter().copied().collect();
+        let as_vec = |s: IdSet<u16>| s.iter().copied().collect::<Vec<_>>();
+        prop_assert_eq!(
+            as_vec(sa.union(&sb)),
+            na.union(&nb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            as_vec(sa.difference(&sb)),
+            na.difference(&nb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            as_vec(sa.intersection(&sb)),
+            na.intersection(&nb).copied().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(sa.is_subset(&sb), na.is_subset(&nb));
+        prop_assert_eq!(sa.is_disjoint(&sb), na.is_disjoint(&nb));
+    }
+
+    /// Equality, ordering and hashing are representation-independent: a
+    /// set grown by incremental inserts (crossing the inline→shared
+    /// promotion) equals, compares equal to, and hashes identically to
+    /// the same set collected in one shot.
+    #[test]
+    fn eq_and_hash_ignore_storage_tier(items in proptest::collection::vec(any::<u16>(), 0..40)) {
+        use std::hash::{Hash, Hasher};
+        fn fingerprint<T: Hash>(t: &T) -> u64 {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            t.hash(&mut h);
+            h.finish()
+        }
+        let collected = set(&items);
+        let mut incremental: IdSet<u16> = IdSet::new();
+        for &x in &items {
+            incremental.insert(x);
+        }
+        prop_assert_eq!(&incremental, &collected);
+        prop_assert_eq!(incremental.cmp(&collected), std::cmp::Ordering::Equal);
+        prop_assert_eq!(fingerprint(&incremental), fingerprint(&collected));
+    }
+
     /// The Control replace rule's core step — remove the sender, add the
     /// replacement minus UDO — never lets a set grow beyond the union and
     /// never resurrects the removed sender from the replacement's leftovers.
