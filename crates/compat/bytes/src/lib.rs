@@ -22,17 +22,23 @@ pub struct Bytes {
 impl Bytes {
     /// Creates an empty buffer.
     pub fn new() -> Self {
-        Bytes { data: Arc::from(&[][..]) }
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
     }
 
     /// Creates a buffer from a static slice (copied; upstream borrows).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Creates a buffer by copying `data`.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: Arc::from(data) }
+        Bytes {
+            data: Arc::from(data),
+        }
     }
 
     /// Length in bytes.
@@ -63,7 +69,9 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.data.len(),
         };
-        Bytes { data: Arc::from(&self.data[start..end]) }
+        Bytes {
+            data: Arc::from(&self.data[start..end]),
+        }
     }
 }
 
@@ -216,7 +224,9 @@ impl BytesMut {
 
     /// Creates an empty builder with room for `cap` bytes.
     pub fn with_capacity(cap: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(cap) }
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
     }
 
     /// Length in bytes.
@@ -324,7 +334,10 @@ mod tests {
 
     #[test]
     fn constructors_compare_equal() {
-        assert_eq!(Bytes::from_static(b"abc"), Bytes::from(vec![b'a', b'b', b'c']));
+        assert_eq!(
+            Bytes::from_static(b"abc"),
+            Bytes::from(vec![b'a', b'b', b'c'])
+        );
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::copy_from_slice(b"xy").to_vec(), vec![b'x', b'y']);
     }

@@ -34,12 +34,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id like `name/parameter`.
     pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// An id from the parameter alone.
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -183,7 +187,9 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         // Short budget: these run in CI smoke jobs, not for publication.
-        Criterion { measure_for: Duration::from_millis(300) }
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
     }
 }
 
@@ -196,7 +202,10 @@ impl Criterion {
 
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.into() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
     }
 
     /// Benchmarks `f` outside any group.

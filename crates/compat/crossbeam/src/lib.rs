@@ -114,13 +114,23 @@ pub mod channel {
     /// gives rendezvous semantics (send blocks until a matching recv).
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap);
-        (Sender { inner: SenderImpl::Bounded(tx) }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: SenderImpl::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     /// Creates a channel with an unbounded queue.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender { inner: SenderImpl::Unbounded(tx) }, Receiver { inner: rx })
+        (
+            Sender {
+                inner: SenderImpl::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
     }
 
     #[cfg(test)]

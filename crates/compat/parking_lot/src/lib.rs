@@ -18,7 +18,9 @@ pub struct Mutex<T: ?Sized> {
 impl<T> Mutex<T> {
     /// Creates a new mutex holding `value`.
     pub const fn new(value: T) -> Self {
-        Mutex { inner: std::sync::Mutex::new(value) }
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
@@ -38,7 +40,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
-            Err(TryLockError::Poisoned(e)) => Some(MutexGuard { inner: Some(e.into_inner()) }),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
             Err(TryLockError::WouldBlock) => None,
         }
     }
@@ -73,13 +77,17 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_deref().expect("guard present outside condvar wait")
+        self.inner
+            .as_deref()
+            .expect("guard present outside condvar wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_deref_mut().expect("guard present outside condvar wait")
+        self.inner
+            .as_deref_mut()
+            .expect("guard present outside condvar wait")
     }
 }
 
@@ -111,7 +119,9 @@ pub struct Condvar {
 impl Condvar {
     /// Creates a new condition variable.
     pub const fn new() -> Self {
-        Condvar { inner: std::sync::Condvar::new() }
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Wakes one waiter.
@@ -127,7 +137,10 @@ impl Condvar {
     /// Blocks until notified, releasing the lock while waiting.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let std_guard = guard.inner.take().expect("guard present");
-        let std_guard = self.inner.wait(std_guard).unwrap_or_else(|e| e.into_inner());
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(std_guard);
     }
 
@@ -143,7 +156,9 @@ impl Condvar {
             Err(e) => e.into_inner(),
         };
         guard.inner = Some(std_guard);
-        WaitTimeoutResult { timed_out: res.timed_out() }
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 }
 

@@ -73,7 +73,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { inner: Box::new(self) }
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
     }
 }
 
@@ -215,7 +217,9 @@ where
 
 /// The full-domain strategy for `T` (e.g. `any::<u64>()`).
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: PhantomData }
+    Any {
+        _marker: PhantomData,
+    }
 }
 
 macro_rules! impl_tuple_strategy {
@@ -259,14 +263,20 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
             assert!(r.start() <= r.end(), "empty size range");
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -278,7 +288,10 @@ pub mod collection {
 
     /// Builds a [`VecStrategy`] with a length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {
@@ -394,8 +407,8 @@ macro_rules! proptest {
 pub mod prelude {
     //! Common imports, mirroring `proptest::prelude`.
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy,
-        Just, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
     };
 }
 

@@ -2,10 +2,16 @@
 //! seeded drops, duplicates and a scheduled crash/restart, with the
 //! reliable-delivery sublayer repairing the wire. Every row must commit
 //! the fault-free outcome.
+//!
+//! `--trace out.json` additionally re-runs the default chain scenario
+//! with the causal tracer enabled and writes its Chrome trace-event
+//! export (see the `trace` bin for the dedicated artifact).
 
-use hope_sim::chaos::{run_threaded, sweep, ChaosConfig};
+use hope_sim::chaos::{run_chain_traced, run_threaded, sweep, ChaosConfig};
+use hope_sim::json::to_string_pretty;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let table = sweep(&[0.0, 0.05, 0.15, 0.25], ChaosConfig::default());
     hope_bench::emit(&table);
     let t = run_threaded(ChaosConfig::default());
@@ -13,4 +19,13 @@ fn main() {
         "threaded: correct={} finalized={} rollbacks={} recoveries={} ({})",
         t.matches_fault_free, t.finalized, t.rollbacks, t.crash_recoveries, t.link
     );
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        let out = args.get(i + 1).expect("--trace requires an output path");
+        let (r, trace) = run_chain_traced(ChaosConfig::default(), 1 << 16);
+        std::fs::write(out, to_string_pretty(&trace)).expect("write trace");
+        println!(
+            "traced chain written to {out} (rollbacks={} recoveries={})",
+            r.rollbacks, r.crash_recoveries
+        );
+    }
 }

@@ -15,6 +15,13 @@
 //!   the wait-free claim is that the *virtual* cost is zero, and the
 //!   wall numbers price the implementation itself.
 //!
+//! With `HOPE_TRACE=1` the workload runs a second time with the causal
+//! tracer enabled and the bin checks the tracing overhead budget: the
+//! deterministic outcome (virtual clock, message counts, tag bytes) must
+//! be **identical** — tracing is pure observation — and the wall-clock
+//! slowdown is printed (informational; gated at <5% only when
+//! `HOPE_BENCH_CHECK=1`, since wall time is machine-dependent).
+//!
 //! Deterministic metrics (counts, bytes) are gated by CI's perf-smoke
 //! job at 2x; wall-clock figures are recorded for humans, never gated.
 
@@ -23,7 +30,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use hope_bench::baseline;
-use hope_core::HopeEnv;
+use hope_core::{HopeEnv, HopeReport};
 use hope_runtime::NetworkConfig;
 use hope_sim::json::Value;
 use hope_types::{AidId, ProcessId, VirtualDuration};
@@ -53,7 +60,17 @@ fn decode_aids(data: &[u8]) -> Vec<AidId> {
 /// (virtual nanos, wall nanos) per primitive invocation.
 type Samples = Arc<Mutex<Vec<(u64, u64)>>>;
 
-fn main() {
+struct Outcome {
+    report: HopeReport,
+    wall_secs: f64,
+    guess_lat: Vec<(u64, u64)>,
+    affirm_lat: Vec<(u64, u64)>,
+    trace_events: usize,
+}
+
+/// One full producer/consumer run; `trace_capacity` enables the causal
+/// tracer for the overhead comparison.
+fn run_workload(trace_capacity: Option<usize>) -> Outcome {
     let guess_lat: Samples = Arc::new(Mutex::new(Vec::new()));
     let affirm_lat: Samples = Arc::new(Mutex::new(Vec::new()));
 
@@ -62,6 +79,10 @@ fn main() {
         .network(NetworkConfig::lan())
         .reliable(true)
         .build();
+    if let Some(capacity) = trace_capacity {
+        env.enable_tracing(capacity);
+    }
+    let tracer = env.tracer();
     let affirm_samples = Arc::clone(&affirm_lat);
     let consumer = env.spawn_user("consumer", move |ctx| {
         let aids = decode_aids(&ctx.receive(Some(1)).data);
@@ -115,13 +136,66 @@ fn main() {
         "every interval must finalize: {:?}",
         report.run.blocked
     );
+    let guesses = std::mem::take(&mut *guess_lat.lock().unwrap());
+    let affirms = std::mem::take(&mut *affirm_lat.lock().unwrap());
+    Outcome {
+        report,
+        wall_secs: wall.as_secs_f64().max(1e-9),
+        guess_lat: guesses,
+        affirm_lat: affirms,
+        trace_events: tracer.len(),
+    }
+}
+
+/// The `HOPE_TRACE=1` overhead check: a traced run must reproduce the
+/// untraced run's deterministic outcome exactly, and its wall-clock cost
+/// is reported (and gated under `HOPE_BENCH_CHECK=1`).
+fn check_tracing_overhead(plain: &Outcome) {
+    let traced = run_workload(Some(1 << 16));
+    assert!(
+        traced.trace_events > 0,
+        "the traced run must actually collect events"
+    );
+    assert_eq!(
+        plain.report.run.now, traced.report.run.now,
+        "tracing must not move the virtual clock"
+    );
+    assert_eq!(
+        plain.report.run.stats.link(),
+        traced.report.run.stats.link(),
+        "tracing must not change wire traffic"
+    );
+    assert_eq!(
+        plain.report.hope.finalized_intervals, traced.report.hope.finalized_intervals,
+        "tracing must not change interval resolution"
+    );
+    let overhead = traced.wall_secs / plain.wall_secs - 1.0;
+    println!(
+        "tracing overhead: {} events collected, wall {:.3}s -> {:.3}s ({:+.1}%)",
+        traced.trace_events,
+        plain.wall_secs,
+        traced.wall_secs,
+        overhead * 100.0,
+    );
+    if std::env::var("HOPE_BENCH_CHECK").as_deref() == Ok("1") {
+        assert!(
+            overhead < 0.05,
+            "traced run must stay within the 5% overhead budget: {:+.1}%",
+            overhead * 100.0
+        );
+    }
+}
+
+fn main() {
+    let outcome = run_workload(None);
+    let report = &outcome.report;
+    let wall_secs = outcome.wall_secs;
 
     let link = report.run.stats.link();
     let registrations = report.run.stats.count_kind("Guess");
     let virtual_secs = report.run.now.as_nanos() as f64 / 1e9;
-    let wall_secs = wall.as_secs_f64().max(1e-9);
-    let (gv, gw): (Vec<u64>, Vec<u64>) = guess_lat.lock().unwrap().iter().copied().unzip();
-    let (av, aw): (Vec<u64>, Vec<u64>) = affirm_lat.lock().unwrap().iter().copied().unzip();
+    let (gv, gw): (Vec<u64>, Vec<u64>) = outcome.guess_lat.iter().copied().unzip();
+    let (av, aw): (Vec<u64>, Vec<u64>) = outcome.affirm_lat.iter().copied().unzip();
 
     println!(
         "throughput: {MESSAGES} msgs in {wall_secs:.3}s wall ({:.0} msgs/s), \
@@ -134,6 +208,10 @@ fn main() {
          ({} full, {} delta codings)",
         link.tag_bytes_full, link.tag_bytes_wire, link.tags_full, link.tags_delta,
     );
+
+    if std::env::var("HOPE_TRACE").as_deref() == Ok("1") {
+        check_tracing_overhead(&outcome);
+    }
 
     let fresh = Value::Object(vec![
         (

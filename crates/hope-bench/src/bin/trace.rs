@@ -1,0 +1,33 @@
+//! E-trace: exports the Chrome trace-event artifact of a faulted chain
+//! run — `BENCH_trace.json` by default, or the path given as the first
+//! argument. Open the file in `chrome://tracing` or Perfetto's legacy
+//! loader to read the speculation timeline: guesses, denies, rollbacks,
+//! re-executions, retransmits and the crash recovery, one track per HOPE
+//! process, with the run's rollback attribution table under `otherData`.
+//!
+//! The artifact is validated against the structural schema before it is
+//! written, so CI's `trace-smoke` job can trust any file this bin emits.
+
+use hope_sim::chaos::{run_chain_traced, ChaosConfig};
+use hope_sim::json::{to_string_pretty, Value};
+use hope_sim::trace_export::validate_chrome_trace;
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_trace.json".to_string());
+    let (result, trace) = run_chain_traced(ChaosConfig::default(), 1 << 16);
+    validate_chrome_trace(&trace).expect("exported trace must satisfy the schema");
+    let events = match trace.get("traceEvents") {
+        Value::Array(events) => events.len(),
+        _ => unreachable!("validated trace has a traceEvents array"),
+    };
+    std::fs::write(&out, to_string_pretty(&trace)).expect("write trace artifact");
+    println!(
+        "wrote {out}: {events} events (dropped {}), rollbacks={} recoveries={} correct={}",
+        trace["otherData"]["dropped_events"].as_i64().unwrap_or(0),
+        result.rollbacks,
+        result.crash_recoveries,
+        result.matches_fault_free,
+    );
+}

@@ -206,8 +206,25 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     if args.iter().any(|a| a == "--demo-oracle") {
         oracles.push(Box::new(DemoOrderOracle));
     }
+    // With `--trace out.json`, enable the causal tracer on the replayed
+    // environment and export its Chrome trace afterwards — the timeline of
+    // a shrunken counterexample is usually the fastest way to read it.
+    let trace_out = flag(args, "--trace");
+    let handles: std::cell::RefCell<
+        Option<(
+            std::sync::Arc<hope_types::TraceCollector>,
+            std::sync::Arc<hope_core::HopeMetrics>,
+        )>,
+    > = std::cell::RefCell::new(None);
     let out = hope_check::explore::replay(
-        &|| (s.build)(),
+        &|| {
+            let env = (s.build)();
+            if trace_out.is_some() {
+                env.enable_tracing(1 << 16);
+                *handles.borrow_mut() = Some((env.tracer(), env.hope_metrics()));
+            }
+            env
+        },
         &decisions,
         &mut oracles,
         num(args, "--max-steps", 10_000),
@@ -223,6 +240,18 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             other => format!("{other:?}"),
         }
     );
+    if let Some(path) = trace_out {
+        let (tracer, metrics) = handles
+            .into_inner()
+            .expect("replay built the environment under --trace");
+        hope_sim::trace_export::write_trace_file(
+            std::path::Path::new(&path),
+            &tracer,
+            &metrics.attribution(),
+        )
+        .map_err(|e| format!("writing {path}: {e}"))?;
+        println!("trace written to {path}");
+    }
     Ok(())
 }
 
@@ -339,7 +368,7 @@ fn main() -> ExitCode {
                 "usage: hope-check [ci|explore|walk|replay|shrink-demo] [scenario] [flags]\n\
                  scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3 disk2 disk3\n\
                  flags: --seed N --decisions 1,0,2 --schedules N --max-states N --max-steps N\n\
-                 \x20      --walk-seed N --no-sleep --demo-oracle"
+                 \x20      --walk-seed N --no-sleep --demo-oracle --trace out.json (replay only)"
             );
             Ok(())
         }

@@ -284,12 +284,24 @@ impl Actor for AidActor {
         };
         let self_id = AidId::from_raw(api.pid());
         let before = self.machine.contract_violations();
+        let state_before = self.machine.state();
         let out = self.machine.on_message(self_id, msg);
         let after = self.machine.contract_violations();
         if after > before {
             self.metrics
                 .aid_contract_violations
                 .fetch_add(after - before, Ordering::Relaxed);
+        }
+        let state_after = self.machine.state();
+        if !state_before.is_final() && state_after.is_final() {
+            self.metrics.tracer.record(
+                api.pid(),
+                api.now(),
+                hope_types::TraceEventKind::AidResolved {
+                    aid: self_id,
+                    denied: state_after == AidState::False,
+                },
+            );
         }
         for reply in out {
             let dst = reply.interval().process();

@@ -30,7 +30,9 @@ use std::sync::Arc;
 use bytes::Bytes;
 use parking_lot::Mutex;
 
-use hope_types::{AidId, IdoSet, IntervalId, ProcessId, UserMessage, VirtualDuration, VirtualTime};
+use hope_types::{
+    AidId, IdoSet, IntervalId, ProcessId, TraceEventKind, UserMessage, VirtualDuration, VirtualTime,
+};
 
 use hope_runtime::SysApi;
 
@@ -83,6 +85,53 @@ impl<'a> ProcessCtx<'a> {
             log,
             metrics,
         }
+    }
+
+    /// Emits a causal-trace event when the shared collector is enabled
+    /// (a single relaxed atomic load otherwise).
+    fn trace(&mut self, kind: TraceEventKind) {
+        if self.metrics.tracer.is_enabled() {
+            let pid = self.sys.pid();
+            let now = self.sys.now();
+            self.metrics.tracer.record(pid, now, kind);
+        }
+    }
+
+    /// A fresh value from a monotonic sequence, for deriving collision-free
+    /// local identifiers such as private reply channels.
+    ///
+    /// This is a logged nondeterministic operation: replay after a rollback
+    /// returns the logged value (so a call redeemed before the rollback
+    /// boundary still finds its reply), while a call *re-issued* past the
+    /// boundary draws a fresh value from a counter that never rewinds — a
+    /// stale reply from a helper spawned by the discarded execution cannot
+    /// alias the new channel and be consumed as if it answered the new call.
+    pub fn channel_seq(&mut self) -> u32 {
+        if self.log.is_replaying() {
+            self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
+            let value = match self.log.replay_next("ChannelSeq", |op| match op {
+                Op::ChannelSeq { value } => Some(*value),
+                _ => None,
+            }) {
+                Ok(v) => v,
+                Err(e) => self.diverge(e),
+            };
+            // Self-heal the persistent counter past the replayed value so a
+            // later live allocation cannot collide with it (relevant after
+            // crash recovery, where the counter restarts at zero but the
+            // recovered log carries earlier allocations).
+            let mut state = self.lib.lock();
+            state.next_channel_seq = state.next_channel_seq.max(value.wrapping_add(1));
+            return value;
+        }
+        let value = {
+            let mut state = self.lib.lock();
+            let v = state.next_channel_seq;
+            state.next_channel_seq = v.wrapping_add(1);
+            v
+        };
+        self.log.record(Op::ChannelSeq { value });
+        value
     }
 
     /// This process's identity.
@@ -166,6 +215,7 @@ impl<'a> ProcessCtx<'a> {
             .spawn_actor("aid", Box::new(AidActor::new(metrics)));
         let aid = AidId::from_raw(pid);
         self.log.record(Op::AidInit { aid });
+        self.trace(TraceEventKind::AidInit { aid });
         aid
     }
 
@@ -257,6 +307,11 @@ impl<'a> ProcessCtx<'a> {
             (iid, delta)
         };
         self.register_guesses(iid, &delta);
+        self.trace(TraceEventKind::IntervalOpen {
+            interval: iid,
+            implicit: false,
+        });
+        self.trace(TraceEventKind::Guess { aid, interval: iid });
         true
     }
 
@@ -303,6 +358,7 @@ impl<'a> ProcessCtx<'a> {
                 ido,
             }),
         );
+        self.trace(TraceEventKind::Affirm { aid });
     }
 
     /// Asserts that `aid`'s assumption is incorrect: every computation that
@@ -342,6 +398,7 @@ impl<'a> ProcessCtx<'a> {
                 hope_types::Payload::Hope(hope_types::HopeMessage::Deny { iid: Some(iid) }),
             );
         }
+        self.trace(TraceEventKind::Deny { aid });
     }
 
     /// Asserts that this computation is **not** dependent on `aid`
@@ -380,6 +437,7 @@ impl<'a> ProcessCtx<'a> {
             aid,
             outcome: !dependent,
         });
+        self.trace(TraceEventKind::FreeOf { aid });
         if dependent {
             self.sys.send(
                 aid.process(),
@@ -488,6 +546,14 @@ impl<'a> ProcessCtx<'a> {
                         (iid, delta)
                     };
                     self.register_guesses(iid, &delta);
+                    self.trace(TraceEventKind::IntervalOpen {
+                        interval: iid,
+                        implicit: true,
+                    });
+                    self.trace(TraceEventKind::ImplicitGuess {
+                        new_aids: delta.len() as u64,
+                        interval: iid,
+                    });
                 }
                 Delivery {
                     src,
@@ -545,6 +611,14 @@ impl<'a> ProcessCtx<'a> {
                     (iid, delta)
                 };
                 self.register_guesses(iid, &delta);
+                self.trace(TraceEventKind::IntervalOpen {
+                    interval: iid,
+                    implicit: true,
+                });
+                self.trace(TraceEventKind::ImplicitGuess {
+                    new_aids: delta.len() as u64,
+                    interval: iid,
+                });
             }
             Delivery {
                 src,

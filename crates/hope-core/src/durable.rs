@@ -97,7 +97,11 @@ mod event_wire {
 fn is_visible(op: &Op) -> bool {
     !matches!(
         op,
-        Op::Now { .. } | Op::Random { .. } | Op::Compute { .. } | Op::TryReceive { result: None }
+        Op::Now { .. }
+            | Op::Random { .. }
+            | Op::ChannelSeq { .. }
+            | Op::Compute { .. }
+            | Op::TryReceive { result: None }
     )
 }
 

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use hope_runtime::{ControlHandler, FaultPlan, NetworkConfig, RunReport, SimRuntime, SysApi};
-use hope_types::{ProcessId, VirtualTime};
+use hope_types::{BlameKey, ProcessId, TraceCollector, TraceEventKind, VirtualTime, WastedWork};
 
 use crate::config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
 use crate::ctx::{ProcessCtx, RollbackSignal, ShutdownSignal};
@@ -223,6 +223,15 @@ fn perform_rollback(
         .rollbacks
         .fetch_add(discarded.len() as u64, Ordering::Relaxed);
     metrics.reexecutions.fetch_add(1, Ordering::Relaxed);
+    // Causal attribution: charge this rollback's wasted work to the deny
+    // that started the cascade (the AID carried as the Rollback's cause),
+    // or to this process's own crash when recovery — not a deny — doomed
+    // the intervals. Only this live path charges; a replayed execution
+    // never reaches here, so crash recovery cannot double-count.
+    let blame = match cause {
+        Some(aid) => BlameKey::Aid(aid),
+        None => BlameKey::Crash(sys.pid()),
+    };
     // Did the rollback's cause die on *this* interval's own assumption
     // (its trigger set)? If so the boundary primitive resolves as false /
     // tainted; otherwise — under the Reguess policy — the boundary
@@ -282,6 +291,33 @@ fn perform_rollback(
         IntervalOrigin::ImplicitReceive { op } => log.rollback_to_receive(op),
         IntervalOrigin::Root => unreachable!("the root interval is definite"),
     };
+    let wasted = WastedWork {
+        intervals_discarded: discarded.len() as u64,
+        ops_discarded: removed.len() as u64,
+        messages_invalidated: removed
+            .iter()
+            .filter(|op| matches!(op, Op::Send { .. }))
+            .count() as u64,
+        reexecutions: 1,
+    };
+    metrics.charge_rollback(blame, wasted);
+    if metrics.tracer.is_enabled() {
+        let pid = sys.pid();
+        let now = sys.now();
+        metrics.tracer.record(
+            pid,
+            now,
+            TraceEventKind::RollbackStart {
+                floor: boundary.id,
+                cause,
+                crash: crash_recovery,
+                discarded: wasted.intervals_discarded,
+                ops_discarded: wasted.ops_discarded,
+                messages_invalidated: wasted.messages_invalidated,
+            },
+        );
+        metrics.tracer.record(pid, now, TraceEventKind::Reexecution);
+    }
     // Restore messages consumed inside the discarded region to the mailbox
     // in their original order (a process-image restore would restore the
     // input queue). Tainted survivors are filtered out naturally when
@@ -429,11 +465,13 @@ impl HopeEnvBuilder {
 
     /// Builds the environment.
     pub fn build(self) -> HopeEnv {
+        let metrics = Arc::new(HopeMetrics::new());
         let mut builder = SimRuntime::builder()
             .seed(self.seed)
             .network(self.network)
             .max_events(self.max_events)
             .trace(self.trace_capacity)
+            .tracer(metrics.tracer.clone())
             .reliable(self.reliable);
         let storage = self
             .faults
@@ -448,7 +486,7 @@ impl HopeEnvBuilder {
         HopeEnv {
             rt: builder.build(),
             config: self.config,
-            metrics: Arc::new(HopeMetrics::new()),
+            metrics,
             libs: Vec::new(),
             registry,
         }
@@ -536,7 +574,8 @@ impl HopeEnv {
 
     /// Runs to quiescence and reports.
     pub fn run(&mut self) -> HopeReport {
-        let run = self.rt.run();
+        let mut run = self.rt.run();
+        run.attribution = self.metrics.attribution();
         HopeReport {
             run,
             hope: self.metrics.snapshot(),
@@ -545,7 +584,8 @@ impl HopeEnv {
 
     /// Runs until `deadline` (later events stay queued).
     pub fn run_until(&mut self, deadline: VirtualTime) -> HopeReport {
-        let run = self.rt.run_until(deadline);
+        let mut run = self.rt.run_until(deadline);
+        run.attribution = self.metrics.attribution();
         HopeReport {
             run,
             hope: self.metrics.snapshot(),
@@ -557,9 +597,29 @@ impl HopeEnv {
         self.rt.now()
     }
 
+    /// Turns on causal trace collection with a ring of `capacity` events
+    /// (drop-oldest once full). Tracing is off by default and costs a
+    /// single relaxed atomic load per hook while disabled.
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.metrics.tracer.enable(capacity);
+    }
+
+    /// The shared trace collector (runtime and library layers both emit
+    /// into it).
+    pub fn tracer(&self) -> Arc<TraceCollector> {
+        self.metrics.tracer.clone()
+    }
+
     /// The shared metrics handle.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// The live metrics behind [`metrics`](HopeEnv::metrics) snapshots.
+    /// For observers that must read counters after the environment itself
+    /// has been moved (e.g. the model checker's replay trace dump).
+    pub fn hope_metrics(&self) -> Arc<HopeMetrics> {
+        self.metrics.clone()
     }
 
     /// The algorithm configuration.

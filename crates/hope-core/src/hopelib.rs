@@ -70,6 +70,11 @@ pub struct LibState {
     store: Option<StoreHandle>,
     /// The environment's store registry, inherited by spawned children.
     registry: Option<Arc<StoreRegistry>>,
+    /// Next [`ProcessCtx::channel_seq`](crate::ProcessCtx::channel_seq)
+    /// value. Lives here — not in the per-execution context — so rollback
+    /// re-execution continues the sequence instead of re-issuing channels
+    /// that stale in-flight replies may still target.
+    pub(crate) next_channel_seq: u32,
 }
 
 impl LibState {
@@ -86,6 +91,7 @@ impl LibState {
             metrics,
             store: None,
             registry: None,
+            next_channel_seq: 0,
         }
     }
 
@@ -292,6 +298,11 @@ impl LibState {
         self.metrics
             .crash_recoveries
             .fetch_add(1, Ordering::Relaxed);
+        self.metrics.tracer.record(
+            self.pid,
+            api.now(),
+            hope_types::TraceEventKind::CrashRecovery,
+        );
         api.wake();
         true
     }
@@ -313,7 +324,12 @@ impl LibState {
         self.metrics
             .finalized_intervals
             .fetch_add(done.len() as u64, Ordering::Relaxed);
-        for (_iid, iha, ihd) in done {
+        for (iid, iha, ihd) in done {
+            self.metrics.tracer.record(
+                self.pid,
+                api.now(),
+                hope_types::TraceEventKind::IntervalFinalized { interval: iid },
+            );
             for &y in iha.iter() {
                 api.send(
                     y.process(),

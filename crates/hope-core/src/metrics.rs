@@ -2,6 +2,9 @@
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use hope_types::{BlameKey, RollbackAttribution, TraceCollector, WastedWork};
 
 /// Atomic counters shared by every HOPElib instance and AID actor of one
 /// [`HopeEnv`](crate::HopeEnv). Cheap to clone via `Arc`; read with
@@ -39,10 +42,19 @@ pub struct HopeMetrics {
     /// Crash recoveries performed: restarts that discarded speculative
     /// intervals and replayed the operation log to the definite frontier.
     pub crash_recoveries: AtomicU64,
+    /// Per-cause rollback attribution: which deny (or crash) wasted how
+    /// much work. Charged at rollback time by the environment loop; only
+    /// live (non-replayed) rollbacks charge, so crash recovery never
+    /// double-counts.
+    pub attribution: Mutex<RollbackAttribution>,
+    /// The shared causal-trace collector every HOPElib, AID actor and
+    /// runtime of one environment records into. Disabled by default;
+    /// recording costs one relaxed atomic load until enabled.
+    pub tracer: Arc<TraceCollector>,
 }
 
 /// A plain-value copy of [`HopeMetrics`] at one instant.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     /// See [`HopeMetrics::guesses`].
     pub guesses: u64,
@@ -72,12 +84,30 @@ pub struct MetricsSnapshot {
     pub aids_collected: u64,
     /// See [`HopeMetrics::crash_recoveries`].
     pub crash_recoveries: u64,
+    /// See [`HopeMetrics::attribution`].
+    pub attribution: RollbackAttribution,
 }
 
 impl HopeMetrics {
     /// Fresh zeroed metrics.
     pub fn new() -> Self {
         HopeMetrics::default()
+    }
+
+    /// Adds `work` to the rollback-attribution totals charged to `cause`.
+    pub fn charge_rollback(&self, cause: BlameKey, work: WastedWork) {
+        self.attribution
+            .lock()
+            .expect("attribution lock poisoned")
+            .charge(cause, work);
+    }
+
+    /// Copies the attribution table at one instant.
+    pub fn attribution(&self) -> RollbackAttribution {
+        self.attribution
+            .lock()
+            .expect("attribution lock poisoned")
+            .clone()
     }
 
     /// Copies every counter at once.
@@ -97,6 +127,7 @@ impl HopeMetrics {
             cycles_broken: self.cycles_broken.load(Ordering::Relaxed),
             aids_collected: self.aids_collected.load(Ordering::Relaxed),
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
+            attribution: self.attribution(),
         }
     }
 }
@@ -121,7 +152,11 @@ impl fmt::Display for MetricsSnapshot {
             self.cycles_broken,
             self.aids_collected,
             self.crash_recoveries
-        )
+        )?;
+        if !self.attribution.is_empty() {
+            write!(f, "\n{}", self.attribution)?;
+        }
+        Ok(())
     }
 }
 

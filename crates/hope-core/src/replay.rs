@@ -106,6 +106,15 @@ pub enum Op {
         /// The drawn value.
         value: u64,
     },
+    /// A private-channel sequence allocation (see
+    /// [`ProcessCtx::channel_seq`](crate::ProcessCtx::channel_seq)). The
+    /// counter never rewinds, so a re-issued call after a rollback gets a
+    /// channel no stale in-flight reply can alias; the logged value keeps
+    /// the replayed prefix deterministic.
+    ChannelSeq {
+        /// The allocated sequence value.
+        value: u32,
+    },
     /// An `await_definite` commit barrier completed (replayed as a no-op:
     /// the intervals it waited for are definite in any replayed prefix).
     Barrier,
@@ -134,6 +143,7 @@ mod op_wire {
     pub const RANDOM: u8 = 13;
     pub const BARRIER: u8 = 14;
     pub const SPAWN_USER: u8 = 15;
+    pub const CHANNEL_SEQ: u8 = 16;
 }
 
 fn put_u32(buf: &mut Vec<u8>, v: u32) {
@@ -222,6 +232,7 @@ impl Op {
             Op::Compute { .. } => "Compute",
             Op::Now { .. } => "Now",
             Op::Random { .. } => "Random",
+            Op::ChannelSeq { .. } => "ChannelSeq",
             Op::Barrier => "Barrier",
             Op::SpawnUser { .. } => "SpawnUser",
         }
@@ -295,6 +306,10 @@ impl Op {
                 buf.push(op_wire::RANDOM);
                 put_u64(&mut buf, *value);
             }
+            Op::ChannelSeq { value } => {
+                buf.push(op_wire::CHANNEL_SEQ);
+                put_u32(&mut buf, *value);
+            }
             Op::Barrier => buf.push(op_wire::BARRIER),
             Op::SpawnUser { pid } => {
                 buf.push(op_wire::SPAWN_USER);
@@ -357,6 +372,9 @@ impl Op {
             },
             op_wire::RANDOM => Op::Random {
                 value: read_u64(buf, at)?,
+            },
+            op_wire::CHANNEL_SEQ => Op::ChannelSeq {
+                value: read_u32(buf, at)?,
             },
             op_wire::BARRIER => Op::Barrier,
             op_wire::SPAWN_USER => Op::SpawnUser {

@@ -75,9 +75,11 @@ impl ThreadedHopeEnvBuilder {
 
     /// Builds and starts the environment.
     pub fn build(self) -> ThreadedHopeEnv {
+        let metrics = Arc::new(HopeMetrics::new());
         let mut builder = ThreadedRuntime::builder()
             .seed(self.seed)
-            .network(self.network);
+            .network(self.network)
+            .tracer(metrics.tracer.clone());
         let storage = self
             .faults
             .as_ref()
@@ -91,7 +93,7 @@ impl ThreadedHopeEnvBuilder {
         ThreadedHopeEnv {
             rt: builder.build(),
             config: self.config,
-            metrics: Arc::new(HopeMetrics::new()),
+            metrics,
             registry,
         }
     }
@@ -136,7 +138,20 @@ impl ThreadedHopeEnv {
     /// `timeout` elapses) and reports. `hit_event_limit` in the report
     /// means the timeout fired first.
     pub fn run_until_quiescent(&self, grace: Duration, timeout: Duration) -> RunReport {
-        self.rt.run_until_quiescent(grace, timeout)
+        let mut run = self.rt.run_until_quiescent(grace, timeout);
+        run.attribution = self.metrics.attribution();
+        run
+    }
+
+    /// Turns on causal trace collection with a ring of `capacity` events;
+    /// see [`HopeEnv::enable_tracing`](crate::HopeEnv::enable_tracing).
+    pub fn enable_tracing(&self, capacity: usize) {
+        self.metrics.tracer.enable(capacity);
+    }
+
+    /// The shared trace collector.
+    pub fn tracer(&self) -> Arc<hope_types::TraceCollector> {
+        self.metrics.tracer.clone()
     }
 
     /// HOPE metrics so far.

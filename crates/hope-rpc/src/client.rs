@@ -26,8 +26,73 @@ impl RpcClient {
     }
 }
 
-/// Allocates a reply channel in the private range. Drawn through the
-/// context's logged randomness, so it is stable across rollback replay.
+/// Allocates a reply channel in the private range (high bit set, so it
+/// can never shadow an application channel). Derived from the context's
+/// logged channel sequence rather than randomness: random draws could
+/// collide between two in-flight calls from the same client,
+/// cross-wiring their replies. Replay after a rollback returns the
+/// logged values, so a call redeemed before the boundary still matches
+/// its reply — while a call *re-issued* past the boundary draws from a
+/// counter that never rewinds, so a stale reply addressed to a discarded
+/// execution's channel cannot be consumed by the new call.
 pub(crate) fn fresh_reply_channel(ctx: &mut ProcessCtx<'_>) -> u32 {
-    0x8000_0000 | (ctx.random() as u32 & 0x7fff_ffff)
+    0x8000_0000 | (ctx.channel_seq() & 0x7fff_ffff)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hope_core::HopeEnv;
+    use std::sync::{Arc, Mutex};
+
+    /// Regression for the random-draw allocator: channels from one client
+    /// must be pairwise distinct (random 31-bit draws could alias two
+    /// in-flight calls) and keep the private-range high bit.
+    #[test]
+    fn reply_channels_are_distinct_and_namespaced() {
+        let mut env = HopeEnv::builder().seed(11).build();
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let out = seen.clone();
+        env.spawn_user("client", move |ctx| {
+            let channels: Vec<u32> = (0..64).map(|_| fresh_reply_channel(ctx)).collect();
+            *out.lock().unwrap() = channels;
+        });
+        let report = env.run();
+        assert!(report.is_clean(), "{:?}", report.run.panics);
+        let channels = seen.lock().unwrap().clone();
+        assert_eq!(channels.len(), 64);
+        for (i, &c) in channels.iter().enumerate() {
+            assert!(c & 0x8000_0000 != 0, "channel {c:#x} escaped the range");
+            assert!(
+                !channels[..i].contains(&c),
+                "channel {c:#x} allocated twice"
+            );
+        }
+    }
+
+    /// The allocator must hand the re-execution of a rolled-back body the
+    /// same channels it handed the optimistic run, or the replayed
+    /// `receive(Some(channel))` would wait on the wrong mailbox filter.
+    #[test]
+    fn reply_channels_are_stable_across_replay() {
+        let mut env = HopeEnv::builder().seed(12).build();
+        let per_execution = Arc::new(Mutex::new(Vec::<Vec<u32>>::new()));
+        let out = per_execution.clone();
+        env.spawn_user("client", move |ctx| {
+            let channels: Vec<u32> = (0..8).map(|_| fresh_reply_channel(ctx)).collect();
+            out.lock().unwrap().push(channels);
+            // Force a rollback: guess, then deny our own assumption.
+            let aid = ctx.aid_init();
+            if ctx.guess(aid) {
+                ctx.deny(aid);
+            }
+        });
+        let report = env.run();
+        assert!(report.is_clean(), "{:?}", report.run.panics);
+        let executions = per_execution.lock().unwrap().clone();
+        assert!(executions.len() >= 2, "the deny must force a re-execution");
+        for exec in &executions[1..] {
+            assert_eq!(*exec, executions[0], "replay diverged");
+        }
+    }
 }

@@ -21,7 +21,7 @@
 use bytes::Bytes;
 use hope_core::ProcessCtx;
 use hope_types::ProcessId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::client::RpcClient;
 use crate::streaming::{ReplyPromise, StreamingClient};
@@ -62,9 +62,13 @@ impl Predictor for ConstantPredictor {
 
 /// Predicts the reply most recently observed for the same method
 /// (ignoring the body). Declines until it has seen one reply.
+///
+/// Backed by a `BTreeMap` so the cache has a deterministic shape: the
+/// predictor lives inside a process body and is rebuilt by rollback
+/// re-execution, where any iteration-order dependence would diverge.
 #[derive(Debug, Clone, Default)]
 pub struct LastValuePredictor {
-    last: HashMap<u32, Bytes>,
+    last: BTreeMap<u32, Bytes>,
 }
 
 impl LastValuePredictor {

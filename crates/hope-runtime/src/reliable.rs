@@ -361,6 +361,18 @@ impl ReliableState {
         }
     }
 
+    /// Discards the dependency-tag codec state for `link` in both
+    /// directions, forcing the next encoded tag on the link to ship
+    /// `Full`. Used when a delivery observes a wire-decoded tag that
+    /// disagrees with the typed tag it shadowed: the codec pair has
+    /// diverged, so trusting any further delta against its bases would
+    /// compound the corruption.
+    pub fn force_tag_resync(&mut self, link: LinkId) {
+        self.tag_enc.remove(&link);
+        self.tag_dec.remove(&link);
+        self.tag_in_transit.retain(|(l, _), _| *l != link);
+    }
+
     /// Drops the link state a crash of `pid` genuinely loses, and nothing
     /// more:
     ///
@@ -394,6 +406,35 @@ impl ReliableState {
 /// saturating, so backoff doubles per attempt.
 pub fn backoff_nanos(rto_nanos: u64, attempt: u32) -> u64 {
     rto_nanos.saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+}
+
+/// Verdict of the shadow-codec check at delivery (see
+/// [`check_decoded_tag`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagCheck {
+    /// The wire decode agreed with the typed tag, or the envelope carried
+    /// no coded tag.
+    Ok,
+    /// The delta referenced a base the receiver lost (e.g. to a crash);
+    /// the typed tag stands in and the link self-heals via `Full`.
+    LostBase,
+    /// The wire decode produced a *different* set than the typed tag — a
+    /// codec divergence. The caller must count it, force a `Full` resync
+    /// on the link, and deliver the typed tag.
+    Mismatch,
+}
+
+/// Compares the wire-side tag decode against the authoritative typed tag.
+/// Both runtimes route every delivery through this so release builds get
+/// the same divergence detection debug builds used to get from a
+/// `debug_assert!` (which silently delivered mis-decoded tags in release).
+pub fn check_decoded_tag(decode: TagDecode, typed: &IdoSet) -> TagCheck {
+    match decode {
+        TagDecode::Decoded(tag) if tag == *typed => TagCheck::Ok,
+        TagDecode::Decoded(_) => TagCheck::Mismatch,
+        TagDecode::LostBase => TagCheck::LostBase,
+        TagDecode::Uncoded => TagCheck::Ok,
+    }
 }
 
 #[cfg(test)]
@@ -628,5 +669,57 @@ mod tests {
         assert_eq!(backoff_nanos(1_000, 10), 1_024_000);
         assert_eq!(backoff_nanos(u64::MAX, 3), u64::MAX);
         assert_eq!(backoff_nanos(1, 64), u64::MAX, "shift overflow saturates");
+    }
+
+    #[test]
+    fn tag_check_classifies_every_decode_outcome() {
+        let typed: IdoSet = [hope_types::AidId::from_raw(p(7))].into_iter().collect();
+        let other: IdoSet = [hope_types::AidId::from_raw(p(8))].into_iter().collect();
+        assert_eq!(
+            check_decoded_tag(TagDecode::Decoded(typed.clone()), &typed),
+            TagCheck::Ok
+        );
+        assert_eq!(
+            check_decoded_tag(TagDecode::Decoded(other), &typed),
+            TagCheck::Mismatch
+        );
+        assert_eq!(
+            check_decoded_tag(TagDecode::LostBase, &typed),
+            TagCheck::LostBase
+        );
+        assert_eq!(check_decoded_tag(TagDecode::Uncoded, &typed), TagCheck::Ok);
+        assert_eq!(
+            check_decoded_tag(TagDecode::Decoded(IdoSet::default()), &IdoSet::default()),
+            TagCheck::Ok,
+            "empty set agreement is still agreement"
+        );
+    }
+
+    #[test]
+    fn force_tag_resync_ships_full_and_forgets_in_transit() {
+        let mut st = ReliableState::new();
+        let link = (p(1), p(2));
+        let tag: IdoSet = [hope_types::AidId::from_raw(p(9))].into_iter().collect();
+        // Establish an acked base so the next coding would be a delta.
+        let seq1 = st.assign_seq(link);
+        st.encode_tag(link, seq1, &tag);
+        assert!(st.accept(link, seq1));
+        assert_eq!(st.decode_tag(link, seq1), TagDecode::Decoded(tag.clone()));
+        st.tag_enc.get_mut(&link).unwrap().on_ack(seq1);
+        let seq2 = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq2, &tag);
+        assert!(matches!(coding, SetCoding::Delta { .. }));
+
+        st.force_tag_resync(link);
+        // The in-transit coding for seq2 is gone: its delivery falls back
+        // to the typed tag instead of decoding against a purged base.
+        assert!(st.accept(link, seq2));
+        assert_eq!(st.decode_tag(link, seq2), TagDecode::Uncoded);
+        // And the next send re-establishes the codec with a Full coding.
+        let seq3 = st.assign_seq(link);
+        let coding = st.encode_tag(link, seq3, &tag);
+        assert!(matches!(coding, SetCoding::Full { .. }));
+        assert!(st.accept(link, seq3));
+        assert_eq!(st.decode_tag(link, seq3), TagDecode::Decoded(tag));
     }
 }

@@ -9,8 +9,8 @@ use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use hope_types::{
-    full_set_wire_len, Envelope, HopeError, HopeMessage, Payload, ProcessId, VirtualDuration,
-    VirtualTime,
+    full_set_wire_len, Envelope, HopeError, HopeMessage, Payload, ProcessId, TraceEventKind,
+    VirtualDuration, VirtualTime,
 };
 
 use crate::actor::Actor;
@@ -18,7 +18,9 @@ use crate::control::ControlHandler;
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
-use crate::reliable::{backoff_nanos, CopyKind, LinkId, ReliableState, TagDecode};
+use crate::reliable::{
+    backoff_nanos, check_decoded_tag, CopyKind, LinkId, ReliableState, TagCheck,
+};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 use crate::threadproc::{Resume, Shared, SpawnKind, SpawnRequest, ThreadCtx, YieldMsg};
@@ -81,6 +83,7 @@ pub struct RuntimeBuilder {
     trace_capacity: usize,
     faults: Option<FaultPlan>,
     reliable: bool,
+    tracer: Option<Arc<hope_types::TraceCollector>>,
 }
 
 impl Default for RuntimeBuilder {
@@ -92,6 +95,7 @@ impl Default for RuntimeBuilder {
             trace_capacity: 0,
             faults: None,
             reliable: false,
+            tracer: None,
         }
     }
 }
@@ -137,6 +141,16 @@ impl RuntimeBuilder {
     /// testing the sublayer itself).
     pub fn reliable(mut self, on: bool) -> Self {
         self.reliable = on;
+        self
+    }
+
+    /// Shares a causal-trace collector with the runtime: wire events
+    /// (send/deliver/retransmit/crash/restart, tag decode mismatches) are
+    /// recorded into it when it is enabled. The collector is usually the
+    /// same one the HOPE environment hands to every HOPElib instance, so
+    /// speculation and wire events interleave in one stream.
+    pub fn tracer(mut self, tracer: Arc<hope_types::TraceCollector>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -197,6 +211,7 @@ impl RuntimeBuilder {
             down: BTreeMap::new(),
             rto_nanos,
             max_retransmits,
+            tracer: self.tracer.unwrap_or_default(),
         }
     }
 }
@@ -224,6 +239,9 @@ pub struct SimRuntime {
     down: BTreeMap<u64, VirtualTime>,
     rto_nanos: u64,
     max_retransmits: u32,
+    /// Causal-trace collector for wire events (disabled unless enabled by
+    /// the owner; recording is a single atomic load when off).
+    tracer: Arc<hope_types::TraceCollector>,
 }
 
 /// Collects sends (and a wake request) issued by an actor or control
@@ -301,6 +319,12 @@ impl SimRuntime {
     /// [`RuntimeBuilder::trace`](RuntimeBuilder::trace).
     pub fn trace(&self) -> Option<&crate::trace::Trace> {
         self.trace.as_ref()
+    }
+
+    /// The shared causal-trace collector (always present; disabled unless
+    /// [`hope_types::TraceCollector::enable`]d).
+    pub fn tracer(&self) -> &Arc<hope_types::TraceCollector> {
+        &self.tracer
     }
 
     /// Name of a process, if it exists.
@@ -585,6 +609,7 @@ impl SimRuntime {
             panics: self.panics.clone(),
             stats: self.stats.clone(),
             hit_event_limit,
+            attribution: Default::default(),
         }
     }
 
@@ -688,6 +713,10 @@ impl SimRuntime {
                 );
             }
         }
+        if !matches!(env.payload, Payload::Ack { .. }) {
+            self.tracer
+                .record(src, sent_at, TraceEventKind::Send { dst, seq: env.seq });
+        }
         self.transmit(env, sent_at, CopyKind::Original);
     }
 
@@ -724,6 +753,7 @@ impl SimRuntime {
         if self.down.insert(pid.as_raw(), up_at).is_some() {
             return; // overlapping crash windows merge
         }
+        self.tracer.record(pid, self.clock, TraceEventKind::Crash);
         // The link layer loses only what a crash genuinely destroys (RTT
         // estimates, tag-codec state); dedup windows and retransmit
         // buffers survive — see `ReliableState::on_crash`.
@@ -756,6 +786,7 @@ impl SimRuntime {
         if self.down.remove(&pid.as_raw()).is_none() {
             return;
         }
+        self.tracer.record(pid, self.clock, TraceEventKind::Restart);
         let idx = pid.as_raw() as usize;
         let handler = match self.procs.get_mut(idx) {
             Some(ProcSlot::Threaded(entry)) => entry.control.take(),
@@ -800,6 +831,11 @@ impl SimRuntime {
             return;
         }
         self.stats.link_mut().retransmits += 1;
+        self.tracer.record(
+            link.0,
+            self.clock,
+            TraceEventKind::Retransmit { dst: link.1, seq },
+        );
         let next = attempt + 1;
         let rto = self
             .rel
@@ -877,20 +913,27 @@ impl SimRuntime {
                 return;
             }
             // Reconstruct the delta-coded dependency tag and check it
-            // against the typed tag the in-memory envelope carries.
+            // against the typed tag the in-memory envelope carries. The
+            // typed tag is authoritative either way; a mismatch means the
+            // link's codec pair diverged, so it is counted, traced, and
+            // the codec is reset to `Full` rather than trusted further.
             if let Payload::User(m) = &env.payload {
-                let decode = self
-                    .rel
-                    .as_mut()
-                    .expect("checked above")
-                    .decode_tag((env.src, env.dst), env.seq);
-                match decode {
-                    TagDecode::Decoded(tag) => debug_assert_eq!(
-                        tag, m.tag,
-                        "wire-decoded dependency tag must equal the typed tag"
-                    ),
-                    TagDecode::LostBase => self.stats.link_mut().tag_resyncs += 1,
-                    TagDecode::Uncoded => {}
+                let rel = self.rel.as_mut().expect("checked above");
+                match check_decoded_tag(rel.decode_tag((env.src, env.dst), env.seq), &m.tag) {
+                    TagCheck::Mismatch => {
+                        rel.force_tag_resync((env.src, env.dst));
+                        self.stats.link_mut().tag_decode_mismatch += 1;
+                        self.tracer.record(
+                            env.dst,
+                            self.clock,
+                            TraceEventKind::TagDecodeMismatch {
+                                src: env.src,
+                                seq: env.seq,
+                            },
+                        );
+                    }
+                    TagCheck::LostBase => self.stats.link_mut().tag_resyncs += 1,
+                    TagCheck::Ok => {}
                 }
             }
         }
@@ -902,6 +945,14 @@ impl SimRuntime {
         let from = self.party_kind(env.src);
         let to = self.party_kind(env.dst);
         self.stats.record(kind, from, to);
+        self.tracer.record(
+            env.dst,
+            self.clock,
+            TraceEventKind::Deliver {
+                src: env.src,
+                seq: env.seq,
+            },
+        );
         if let Some(trace) = self.trace.as_mut() {
             trace.record(self.clock, env.src, env.dst, &env.payload);
         }

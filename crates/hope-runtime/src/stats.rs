@@ -86,6 +86,11 @@ pub struct LinkStats {
     /// Deliveries whose delta referenced a base lost to a receiver crash;
     /// the link falls back to the typed tag and resyncs via `Full`.
     pub tag_resyncs: u64,
+    /// Deliveries whose wire-decoded dependency tag disagreed with the
+    /// typed tag in the same envelope. The typed tag is delivered and the
+    /// link codec is forced back to `Full`; any nonzero value is a codec
+    /// bug worth investigating.
+    pub tag_decode_mismatch: u64,
 }
 
 impl LinkStats {
@@ -125,7 +130,7 @@ impl fmt::Display for LinkStats {
              abandoned={} acks={} dedup_dropped={} (dup_faults={} \
              retransmit_races={} overtaken={}) unroutable={} \
              rtt_samples={} srtt_nanos={} max_attempt={} \
-             tag_bytes={}/{} (full={} delta={} resyncs={})",
+             tag_bytes={}/{} (full={} delta={} resyncs={} decode_mismatch={})",
             self.fault_dropped,
             self.duplicated,
             self.crash_dropped,
@@ -144,7 +149,8 @@ impl fmt::Display for LinkStats {
             self.tag_bytes_full,
             self.tags_full,
             self.tags_delta,
-            self.tag_resyncs
+            self.tag_resyncs,
+            self.tag_decode_mismatch
         )
     }
 }
@@ -263,6 +269,10 @@ pub struct RunReport {
     pub stats: MessageStats,
     /// True if the run stopped because it hit the configured event limit.
     pub hit_event_limit: bool,
+    /// Per-cause rollback attribution (who wasted whose work). The bare
+    /// runtimes report an empty table; the HOPE environments fill it from
+    /// their metrics before handing the report to callers.
+    pub attribution: hope_types::RollbackAttribution,
 }
 
 impl RunReport {

@@ -22,13 +22,17 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use hope_types::{full_set_wire_len, Envelope, Payload, ProcessId, VirtualDuration, VirtualTime};
+use hope_types::{
+    full_set_wire_len, Envelope, Payload, ProcessId, TraceEventKind, VirtualDuration, VirtualTime,
+};
 
 use crate::actor::{Actor, ActorApi};
 use crate::control::{ControlApi, ControlHandler};
 use crate::fault::{FaultModel, FaultPlan, WireFate};
 use crate::net::{LatencyModel, NetworkConfig};
-use crate::reliable::{backoff_nanos, CopyKind, LinkId, ReliableState, TagDecode};
+use crate::reliable::{
+    backoff_nanos, check_decoded_tag, CopyKind, LinkId, ReliableState, TagCheck,
+};
 use crate::stats::{MessageStats, PartyKind, RunReport};
 use crate::sysapi::{Received, SysApi};
 
@@ -119,6 +123,9 @@ struct Inner {
     /// Crashed processes: raw pid -> restart instant.
     down: Mutex<BTreeMap<u64, Instant>>,
     max_retransmits: u32,
+    /// Causal-trace collector for wire events (disabled unless enabled by
+    /// the owner; recording is a single atomic load when off).
+    tracer: Arc<hope_types::TraceCollector>,
 }
 
 impl Inner {
@@ -197,6 +204,16 @@ impl Inner {
                     },
                 );
             }
+        }
+        if !matches!(envelope.payload, Payload::Ack { .. }) {
+            self.tracer.record(
+                src,
+                envelope.sent_at,
+                TraceEventKind::Send {
+                    dst,
+                    seq: envelope.seq,
+                },
+            );
         }
         self.transmit(envelope, CopyKind::Original);
     }
@@ -277,17 +294,35 @@ impl Inner {
                 }
                 // Reconstruct the delta-coded dependency tag and check it
                 // against the typed tag the in-memory envelope carries.
+                // On divergence the typed tag is delivered, the mismatch
+                // is counted and traced, and the link codec is forced back
+                // to `Full` (see SimRuntime::deliver).
                 if let Payload::User(m) = &envelope.payload {
-                    let decode = rel
-                        .lock()
-                        .decode_tag((envelope.src, envelope.dst), envelope.seq);
-                    match decode {
-                        TagDecode::Decoded(tag) => debug_assert_eq!(
-                            tag, m.tag,
-                            "wire-decoded dependency tag must equal the typed tag"
-                        ),
-                        TagDecode::LostBase => self.stats.lock().link_mut().tag_resyncs += 1,
-                        TagDecode::Uncoded => {}
+                    let verdict = {
+                        let mut rel = rel.lock();
+                        let verdict = check_decoded_tag(
+                            rel.decode_tag((envelope.src, envelope.dst), envelope.seq),
+                            &m.tag,
+                        );
+                        if verdict == TagCheck::Mismatch {
+                            rel.force_tag_resync((envelope.src, envelope.dst));
+                        }
+                        verdict
+                    };
+                    match verdict {
+                        TagCheck::Mismatch => {
+                            self.stats.lock().link_mut().tag_decode_mismatch += 1;
+                            self.tracer.record(
+                                envelope.dst,
+                                self.now(),
+                                TraceEventKind::TagDecodeMismatch {
+                                    src: envelope.src,
+                                    seq: envelope.seq,
+                                },
+                            );
+                        }
+                        TagCheck::LostBase => self.stats.lock().link_mut().tag_resyncs += 1,
+                        TagCheck::Ok => {}
                     }
                 }
             }
@@ -310,6 +345,14 @@ impl Inner {
             return;
         };
         self.stats.lock().record(kind, from, to);
+        self.tracer.record(
+            envelope.dst,
+            self.now(),
+            TraceEventKind::Deliver {
+                src: envelope.src,
+                seq: envelope.seq,
+            },
+        );
         match slot.as_ref() {
             Slot::Gone => {
                 self.stats.lock().record_dropped();
@@ -365,6 +408,7 @@ impl Inner {
         if self.down.lock().insert(pid.as_raw(), up_at).is_some() {
             return; // overlapping crash windows merge
         }
+        self.tracer.record(pid, self.now(), TraceEventKind::Crash);
         // Link layer: drop only genuinely-volatile state (RTT estimates,
         // tag-codec state); dedup windows and retransmit buffers survive.
         if let Some(rel) = self.rel.as_ref() {
@@ -394,6 +438,7 @@ impl Inner {
         if self.down.lock().remove(&pid.as_raw()).is_none() {
             return;
         }
+        self.tracer.record(pid, self.now(), TraceEventKind::Restart);
         let slot = {
             let procs = self.procs.lock();
             procs.get(pid.as_raw() as usize).cloned()
@@ -444,6 +489,11 @@ impl Inner {
             link_stats.max_retransmit_attempt =
                 link_stats.max_retransmit_attempt.max((attempt + 1) as u64);
         }
+        self.tracer.record(
+            link.0,
+            self.now(),
+            TraceEventKind::Retransmit { dst: link.1, seq },
+        );
         let next = attempt + 1;
         let delay = Duration::from_nanos(backoff_nanos(rto, next));
         self.schedule(
@@ -633,6 +683,7 @@ pub struct ThreadedRuntimeBuilder {
     network: NetworkConfig,
     faults: Option<FaultPlan>,
     reliable: bool,
+    tracer: Option<Arc<hope_types::TraceCollector>>,
 }
 
 impl Default for ThreadedRuntimeBuilder {
@@ -642,6 +693,7 @@ impl Default for ThreadedRuntimeBuilder {
             network: NetworkConfig::local(),
             faults: None,
             reliable: false,
+            tracer: None,
         }
     }
 }
@@ -673,6 +725,14 @@ impl ThreadedRuntimeBuilder {
     /// Forces the reliable-delivery sublayer on with a lossless wire.
     pub fn reliable(mut self, on: bool) -> Self {
         self.reliable = on;
+        self
+    }
+
+    /// Shares a causal-trace collector with the runtime: wire events
+    /// (send/deliver/retransmit/crash/restart, tag decode mismatches) are
+    /// recorded into it when it is enabled.
+    pub fn tracer(mut self, tracer: Arc<hope_types::TraceCollector>) -> Self {
+        self.tracer = Some(tracer);
         self
     }
 
@@ -726,6 +786,7 @@ impl ThreadedRuntimeBuilder {
             }),
             down: Mutex::new(BTreeMap::new()),
             max_retransmits,
+            tracer: self.tracer.unwrap_or_default(),
         });
         for c in &crashes {
             let at = start + Duration::from_nanos(c.at.as_nanos());
@@ -945,12 +1006,19 @@ impl ThreadedRuntime {
             panics: self.inner.panics.lock().clone(),
             stats: self.inner.stats.lock().clone(),
             hit_event_limit: hit_timeout,
+            attribution: Default::default(),
         }
     }
 
     /// Message statistics so far.
     pub fn stats(&self) -> MessageStats {
         self.inner.stats.lock().clone()
+    }
+
+    /// The shared causal-trace collector (always present; disabled unless
+    /// [`hope_types::TraceCollector::enable`]d).
+    pub fn tracer(&self) -> Arc<hope_types::TraceCollector> {
+        self.inner.tracer.clone()
     }
 }
 

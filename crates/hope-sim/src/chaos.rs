@@ -157,6 +157,23 @@ pub fn run_replication(cfg: ChaosConfig) -> ChaosResult {
 /// with (optionally) the client crashing mid-chain. The committed final
 /// value must equal the fault-free chain's.
 pub fn run_chain(cfg: ChaosConfig) -> ChaosResult {
+    run_chain_inner(cfg, None).0
+}
+
+/// [`run_chain`] with the causal tracer enabled at `capacity` events,
+/// additionally returning the run's exported Chrome trace object (see
+/// [`crate::trace_export`]). The faulted chain is the richest single
+/// scenario for a trace artifact: speculation, denies, rollbacks,
+/// retransmissions and a crash recovery all appear in one timeline.
+pub fn run_chain_traced(cfg: ChaosConfig, capacity: usize) -> (ChaosResult, crate::json::Value) {
+    let (result, trace) = run_chain_inner(cfg, Some(capacity));
+    (result, trace.expect("tracing was enabled"))
+}
+
+fn run_chain_inner(
+    cfg: ChaosConfig,
+    trace_capacity: Option<usize>,
+) -> (ChaosResult, Option<crate::json::Value>) {
     let chain_cfg = ChainConfig {
         depth: cfg.depth,
         latency: VirtualDuration::from_millis(1),
@@ -177,9 +194,21 @@ pub fn run_chain(cfg: ChaosConfig) -> ChaosResult {
         .network(NetworkConfig::constant(chain_cfg.latency))
         .faults(plan)
         .build();
+    if let Some(capacity) = trace_capacity {
+        env.enable_tracing(capacity);
+    }
+    let tracer = env.tracer();
     let (faulted, report) = chain::run_streaming_in(env, chain_cfg);
     // The stage server is an open-loop `serve` and lingers in `receive`.
-    check(&report, &["stage"], faulted.value == reference.value)
+    let result = check(&report, &["stage"], faulted.value == reference.value);
+    let trace = trace_capacity.map(|_| {
+        crate::trace_export::chrome_trace(
+            &tracer.drain(),
+            tracer.dropped(),
+            &report.hope.attribution,
+        )
+    });
+    (result, trace)
 }
 
 /// Runs a guess/affirm race on the wall-clock [`ThreadedHopeEnv`] under
@@ -338,6 +367,38 @@ mod tests {
         assert_eq!(a.quiescent, b.quiescent);
         assert_eq!(a.link, b.link);
         assert_eq!(a.rollbacks, b.rollbacks);
+    }
+
+    /// Tracing is pure observation: a traced run must be event-for-event
+    /// the run the untraced simulator produces, and its export must pass
+    /// the schema check with a non-empty timeline that includes the
+    /// rollback events this scenario is guaranteed to generate.
+    #[test]
+    fn traced_chain_is_identical_and_exports_a_valid_trace() {
+        use crate::json::Value;
+        let cfg = ChaosConfig::default();
+        let plain = run_chain(cfg);
+        let (traced, trace) = run_chain_traced(cfg, 1 << 16);
+        assert_eq!(plain.quiescent, traced.quiescent);
+        assert_eq!(plain.rollbacks, traced.rollbacks);
+        assert_eq!(plain.finalized, traced.finalized);
+        assert_eq!(plain.link, traced.link);
+        crate::trace_export::validate_chrome_trace(&trace).unwrap();
+        let events = match trace.get("traceEvents") {
+            Value::Array(events) => events,
+            _ => panic!("traceEvents missing"),
+        };
+        assert!(!events.is_empty());
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").as_str() == Some("rollback")),
+            "the faulted chain must trace its rollbacks"
+        );
+        assert!(
+            matches!(trace["otherData"]["attribution"], Value::Array(ref rows) if !rows.is_empty()),
+            "rollbacks must be attributed in the artifact"
+        );
     }
 
     #[test]

@@ -13,6 +13,8 @@ use std::fmt;
 pub enum Value {
     /// `null`, also returned when indexing misses.
     Null,
+    /// An integer scalar (Chrome trace timestamps/pids must be numeric).
+    Number(i64),
     /// A string scalar.
     String(String),
     /// An ordered array.
@@ -47,6 +49,14 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => Some(*n),
             _ => None,
         }
     }
@@ -93,6 +103,7 @@ fn write_value(out: &mut String, value: &Value, indent: usize) {
     let inner_pad = "  ".repeat(indent + 1);
     match value {
         Value::Null => out.push_str("null"),
+        Value::Number(n) => out.push_str(&n.to_string()),
         Value::String(s) => escape_into(out, s),
         Value::Array(items) => {
             if items.is_empty() {
@@ -245,6 +256,22 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.bytes.get(self.at) {
             Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.at;
+                if self.bytes.get(self.at) == Some(&b'-') {
+                    self.at += 1;
+                }
+                while matches!(self.bytes.get(self.at), Some(b'0'..=b'9')) {
+                    self.at += 1;
+                }
+                // Integers only — the writer never emits fractions or
+                // exponents, so the parser rejects them too.
+                let text = std::str::from_utf8(&self.bytes[start..self.at])
+                    .map_err(|_| self.error("invalid UTF-8"))?;
+                text.parse::<i64>()
+                    .map(Value::Number)
+                    .map_err(|_| self.error("bad number"))
+            }
             Some(b'n') => {
                 if self.bytes[self.at..].starts_with(b"null") {
                     self.at += 4;
@@ -351,10 +378,30 @@ mod tests {
     #[test]
     fn parse_errors_carry_position() {
         assert!(from_str("").is_err());
-        assert!(from_str("[1]").is_err(), "numbers are outside the subset");
+        assert!(
+            from_str("[1.5]").is_err(),
+            "fractions are outside the subset"
+        );
+        assert!(
+            from_str("[1e3]").is_err(),
+            "exponents are outside the subset"
+        );
         assert!(from_str(r#"{"k": "v""#).is_err());
         let err = from_str(r#"["a" "b"]"#).unwrap_err();
         assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn integers_round_trip() {
+        let value = Value::Array(vec![
+            Value::Number(0),
+            Value::Number(-42),
+            Value::Number(i64::MAX),
+            Value::Number(i64::MIN),
+        ]);
+        let text = to_string_pretty(&value);
+        assert_eq!(from_str(&text).unwrap(), value);
+        assert_eq!(from_str("[1]").unwrap()[0].as_i64(), Some(1));
     }
 
     #[test]

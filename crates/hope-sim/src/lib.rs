@@ -37,4 +37,5 @@ pub mod scenarios;
 pub mod scientific;
 pub mod soak;
 pub mod table;
+pub mod trace_export;
 pub mod waitfree;

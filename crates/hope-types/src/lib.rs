@@ -39,6 +39,7 @@ mod ids;
 mod message;
 mod sets;
 mod time;
+pub mod trace;
 
 pub use delta::{full_set_wire_len, SetCoding, TagDecoder, TagEncoder, DEFAULT_CODEC_WINDOW};
 pub use error::HopeError;
@@ -46,6 +47,9 @@ pub use ids::{AidId, IntervalId, ProcessId};
 pub use message::{definite_interval, DepTag, Envelope, HopeMessage, Payload, UserMessage};
 pub use sets::{IdSet, IdoSet, IntervalSet};
 pub use time::{VirtualDuration, VirtualTime};
+pub use trace::{
+    BlameKey, RollbackAttribution, TraceCollector, TraceEvent, TraceEventKind, WastedWork,
+};
 
 /// Crate-wide result alias using [`HopeError`].
 pub type Result<T> = std::result::Result<T, HopeError>;
