@@ -1,0 +1,159 @@
+//! E-adaptive: speculation-control policies under contention, and the
+//! committed `BENCH_adaptive.json` baseline.
+//!
+//! Sweeps the resolver deny rate over the [`hope_sim::contention`]
+//! workload for the three DESIGN.md §9 policies. The headline claims the
+//! baseline locks in:
+//!
+//! * at the **lowest** deny rate adaptive control must track
+//!   unconditional optimism (throughput ratio ≥ 0.95× — the controller
+//!   must not tax the workloads that never needed it);
+//! * at the **highest** deny rate adaptive control must beat
+//!   unconditional optimism by ≥ 3× (throttling plus doomed-interval
+//!   cancellation stop the rollback churn);
+//! * doomed-interval cancellation must actually fire
+//!   (`cancelled_intervals > 0` while the controller is learning).
+//!
+//! All gated figures are virtual-clock and therefore deterministic:
+//! throughput is committed rounds per *virtual* second, so the committed
+//! baseline reproduces bit-for-bit on any machine. CI's adaptive-smoke
+//! job re-runs this bin with `HOPE_BENCH_CHECK=1`, which additionally
+//! compares the per-cell virtual quiescence times against the committed
+//! baseline at 2×.
+
+use hope_core::SpecPolicy;
+use hope_sim::contention::{run, ContentionConfig, ContentionResult};
+use hope_sim::json::Value;
+
+const SEED: u64 = 7;
+const DENY_PERMILLES: [u32; 4] = [50, 300, 600, 900];
+
+fn config(deny_permille: u32, policy: SpecPolicy) -> ContentionConfig {
+    ContentionConfig {
+        workers: 4,
+        rounds: 60,
+        deny_permille,
+        policy,
+        seed: SEED,
+        ..ContentionConfig::default()
+    }
+}
+
+fn main() {
+    let adaptive = SpecPolicy::adaptive(0.4, 8, 0.1).expect("valid bench policy");
+    let policies: [(&str, SpecPolicy); 3] = [
+        ("optimistic", SpecPolicy::AlwaysOptimistic),
+        ("adaptive", adaptive),
+        ("pessimistic", SpecPolicy::Pessimistic),
+    ];
+
+    let mut table = hope_sim::table::Table::new(
+        "E-adaptive: throughput under contention, by speculation policy",
+        &[
+            "policy",
+            "deny",
+            "rounds/s",
+            "rollbacks",
+            "cancelled",
+            "wasted_ops",
+        ],
+    );
+    let mut cells: Vec<(&str, u32, ContentionResult)> = Vec::new();
+    for &deny in &DENY_PERMILLES {
+        for &(name, policy) in &policies {
+            let r = run(config(deny, policy));
+            table.row(&[
+                name.to_string(),
+                format!("{:.1}%", deny as f64 / 10.0),
+                format!("{:.1}", r.throughput),
+                format!("{}", r.rollbacks),
+                format!("{}", r.cancelled_intervals),
+                format!("{}", r.wasted_ops),
+            ]);
+            cells.push((name, deny, r));
+        }
+    }
+    hope_bench::emit(&table);
+
+    let cell = |name: &str, deny: u32| -> &ContentionResult {
+        cells
+            .iter()
+            .find(|(n, d, _)| *n == name && *d == deny)
+            .map(|(_, _, r)| r)
+            .expect("swept cell")
+    };
+    let low = *DENY_PERMILLES.first().expect("sweep is non-empty");
+    let high = *DENY_PERMILLES.last().expect("sweep is non-empty");
+    let low_ratio = cell("adaptive", low).throughput / cell("optimistic", low).throughput;
+    let high_ratio = cell("adaptive", high).throughput / cell("optimistic", high).throughput;
+    let cancelled_high = cell("adaptive", high).cancelled_intervals;
+    println!(
+        "adaptive/optimistic throughput: {low_ratio:.3}x at {:.1}% deny, \
+         {high_ratio:.2}x at {:.1}% deny; {cancelled_high} doomed intervals cancelled",
+        low as f64 / 10.0,
+        high as f64 / 10.0,
+    );
+
+    // The headline claims hold unconditionally — they are deterministic,
+    // so a failure is a real behavior change, not machine noise.
+    assert!(
+        low_ratio >= 0.95,
+        "adaptive must track optimism at {low} permille deny: {low_ratio:.3}x"
+    );
+    assert!(
+        high_ratio >= 3.0,
+        "adaptive must beat optimism >=3x at {high} permille deny: {high_ratio:.2}x"
+    );
+    assert!(
+        cancelled_high > 0,
+        "doomed-interval cancellation must fire at {high} permille deny"
+    );
+
+    let mut fields: Vec<(String, Value)> = vec![
+        (
+            "bench".into(),
+            Value::String("adaptive (E-adaptive: speculation control under contention)".into()),
+        ),
+        ("seed".into(), Value::String(SEED.to_string())),
+        (
+            "adaptive_over_optimistic_low".into(),
+            Value::String(format!("{low_ratio:.4}")),
+        ),
+        (
+            "adaptive_over_optimistic_high".into(),
+            Value::String(format!("{high_ratio:.4}")),
+        ),
+        (
+            "cancelled_intervals".into(),
+            Value::String(cancelled_high.to_string()),
+        ),
+    ];
+    for (name, deny, r) in &cells {
+        fields.push((
+            format!("{name}_{deny}_virtual_micros"),
+            Value::String((r.quiescent.as_nanos() / 1_000).to_string()),
+        ));
+        fields.push((
+            format!("{name}_{deny}_rollbacks"),
+            Value::String(r.rollbacks.to_string()),
+        ));
+    }
+    let fresh = Value::Object(fields);
+    // Gate the cells where a regression would erase the headline: the
+    // adaptive column's virtual cost and rollback count at both ends of
+    // the sweep, and the optimistic low-deny cell (the fast path the
+    // controller must not tax). The optimistic high-deny cell is the
+    // *problem* being measured, not a property to protect.
+    let keys: Vec<String> = [low, high]
+        .iter()
+        .flat_map(|deny| {
+            [
+                format!("adaptive_{deny}_virtual_micros"),
+                format!("adaptive_{deny}_rollbacks"),
+            ]
+        })
+        .chain(std::iter::once(format!("optimistic_{low}_virtual_micros")))
+        .collect();
+    let key_refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+    hope_bench::baseline::finish("BENCH_adaptive.json", &fresh, &key_refs, 2.0);
+}

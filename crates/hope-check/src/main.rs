@@ -13,7 +13,10 @@
 //! `ring2-alg1`, `ring3-alg1` (Algorithm 1, livelocks), `chaos2`,
 //! `chaos3` (Algorithm 2 plus a crash/restart of ring process 0 and the
 //! reliable-delivery sublayer), `disk2`, `disk3` (the chaos ring with
-//! durable op-logs whose crash images take seeded storage faults).
+//! durable op-logs whose crash images take seeded storage faults),
+//! `storm2-adaptive`, `storm3-adaptive`, `storm2-pessimistic`,
+//! `storm3-pessimistic` (a ring plus a persistently denied AID under the
+//! DESIGN.md §9 speculation-control policies).
 //! Everything is deterministic given the flags; all run within a small
 //! fixed budget (see EXPERIMENTS.md E-check).
 
@@ -24,7 +27,7 @@ use hope_check::{
     dfs, random_walk, shrink, ConvergenceOracle, CrashRecoveryOracle, DemoOrderOracle, DfsConfig,
     Oracle, SafetyOracle, WaitFreedomOracle, WalkConfig,
 };
-use hope_core::HopeEnv;
+use hope_core::{HopeEnv, SpecPolicy};
 use hope_sim::scenarios;
 
 struct Scenario {
@@ -38,35 +41,47 @@ struct Scenario {
 }
 
 fn scenario(name: &str, seed: u64) -> Option<Scenario> {
-    let (n, alg1, chaos, disk) = match name {
-        "ring2" => (2, false, false, false),
-        "ring3" => (3, false, false, false),
-        "ring2-alg1" => (2, true, false, false),
-        "ring3-alg1" => (3, true, false, false),
-        "chaos2" => (2, false, true, false),
-        "chaos3" => (3, false, true, false),
-        "disk2" => (2, false, true, true),
-        "disk3" => (3, false, true, true),
+    // The storm scenarios use a threshold low enough that a single denied
+    // observation throttles the process, so the checker explores the
+    // parked-guess wake paths, not just unthrottled optimism.
+    let adaptive = || SpecPolicy::adaptive(0.1, 4, 0.05).expect("valid checker policy");
+    let (label, build): (&'static str, Box<dyn Fn() -> HopeEnv>) = match name {
+        "ring2" => ("ring2", Box::new(move || scenarios::ring(2, true, seed))),
+        "ring3" => ("ring3", Box::new(move || scenarios::ring(3, true, seed))),
+        "ring2-alg1" => (
+            "ring2-alg1",
+            Box::new(move || scenarios::ring(2, false, seed)),
+        ),
+        "ring3-alg1" => (
+            "ring3-alg1",
+            Box::new(move || scenarios::ring(3, false, seed)),
+        ),
+        "chaos2" => ("chaos2", Box::new(move || scenarios::chaos_ring(2, seed))),
+        "chaos3" => ("chaos3", Box::new(move || scenarios::chaos_ring(3, seed))),
+        "disk2" => ("disk2", Box::new(move || scenarios::disk_ring(2, seed))),
+        "disk3" => ("disk3", Box::new(move || scenarios::disk_ring(3, seed))),
+        "storm2-adaptive" => (
+            "storm2-adaptive",
+            Box::new(move || scenarios::deny_storm(2, adaptive(), seed)),
+        ),
+        "storm3-adaptive" => (
+            "storm3-adaptive",
+            Box::new(move || scenarios::deny_storm(3, adaptive(), seed)),
+        ),
+        "storm2-pessimistic" => (
+            "storm2-pessimistic",
+            Box::new(move || scenarios::deny_storm(2, SpecPolicy::Pessimistic, seed)),
+        ),
+        "storm3-pessimistic" => (
+            "storm3-pessimistic",
+            Box::new(move || scenarios::deny_storm(3, SpecPolicy::Pessimistic, seed)),
+        ),
         _ => return None,
     };
-    let build: Box<dyn Fn() -> HopeEnv> = if disk {
-        Box::new(move || scenarios::disk_ring(n, seed))
-    } else if chaos {
-        Box::new(move || scenarios::chaos_ring(n, seed))
-    } else {
-        Box::new(move || scenarios::ring(n, !alg1, seed))
-    };
+    let alg1 = name.ends_with("-alg1");
+    let chaos = name.starts_with("chaos") || name.starts_with("disk");
     Some(Scenario {
-        name: match name {
-            "ring2" => "ring2",
-            "ring3" => "ring3",
-            "ring2-alg1" => "ring2-alg1",
-            "ring3-alg1" => "ring3-alg1",
-            "chaos2" => "chaos2",
-            "chaos3" => "chaos3",
-            "disk2" => "disk2",
-            _ => "disk3",
-        },
+        name: label,
         build,
         expect_livelock: alg1,
         lossless: !chaos,
@@ -345,7 +360,26 @@ fn cmd_ci(args: &[String]) -> Result<(), String> {
         "--walk-seed".into(),
         "11".into(),
     ])?;
-    // 6. The counterexample pipeline end-to-end.
+    // 6. Deny storm under adaptive throttling and full pessimism: a
+    //    persistently denied AID must not cost convergence or wait-freedom
+    //    whichever way the speculation policy reacts (DESIGN.md §9).
+    cmd_explore(&["storm2-adaptive".into(), "--seed".into(), "1".into()])?;
+    cmd_walk(&[
+        "storm3-adaptive".into(),
+        "--schedules".into(),
+        "150".into(),
+        "--walk-seed".into(),
+        "13".into(),
+    ])?;
+    cmd_explore(&["storm2-pessimistic".into(), "--seed".into(), "1".into()])?;
+    cmd_walk(&[
+        "storm3-pessimistic".into(),
+        "--schedules".into(),
+        "150".into(),
+        "--walk-seed".into(),
+        "17".into(),
+    ])?;
+    // 7. The counterexample pipeline end-to-end.
     cmd_shrink_demo(&["--seed".into(), "42".into()])?;
     println!("ci suite passed in {:.2?}", start.elapsed());
     Ok(())
@@ -367,6 +401,7 @@ fn main() -> ExitCode {
             println!(
                 "usage: hope-check [ci|explore|walk|replay|shrink-demo] [scenario] [flags]\n\
                  scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3 disk2 disk3\n\
+                 \x20          storm2-adaptive storm3-adaptive storm2-pessimistic storm3-pessimistic\n\
                  flags: --seed N --decisions 1,0,2 --schedules N --max-states N --max-steps N\n\
                  \x20      --walk-seed N --no-sleep --demo-oracle --trace out.json (replay only)"
             );

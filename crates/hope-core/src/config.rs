@@ -2,7 +2,11 @@
 //!
 //! The published pseudocode leaves two behaviours open; both readings are
 //! implemented and selectable so the ablation benchmarks can compare them
-//! (see DESIGN.md §3).
+//! (see DESIGN.md §3). The speculation policy ([`SpecPolicy`]) is not in
+//! the paper at all: it is the adaptive throttling layer of DESIGN.md §9,
+//! defaulting to the paper's unconditional optimism.
+
+use hope_types::SpecPolicy;
 
 /// What happens to the AIDs an interval has *speculatively affirmed*
 /// (its `IHA` set) when that interval is rolled back (Figure 11's rollback
@@ -81,6 +85,10 @@ pub struct HopeConfig {
     pub cycle_detection: bool,
     /// Behaviour of a rolled-back `guess` (see [`GuessRollbackPolicy`]).
     pub guess_rollback: GuessRollbackPolicy,
+    /// Adaptive speculation control (DESIGN.md §9). The default,
+    /// [`SpecPolicy::AlwaysOptimistic`], reproduces the paper's
+    /// unconditional optimism exactly.
+    pub spec_policy: SpecPolicy,
 }
 
 impl HopeConfig {
@@ -92,6 +100,7 @@ impl HopeConfig {
             deny_policy: DenyPolicy::Immediate,
             cycle_detection: true,
             guess_rollback: GuessRollbackPolicy::Reguess,
+            spec_policy: SpecPolicy::AlwaysOptimistic,
         }
     }
 
@@ -131,5 +140,10 @@ mod tests {
     #[test]
     fn default_equals_new() {
         assert_eq!(HopeConfig::default(), HopeConfig::new());
+    }
+
+    #[test]
+    fn default_speculation_is_unconditional() {
+        assert_eq!(HopeConfig::new().spec_policy, SpecPolicy::AlwaysOptimistic);
     }
 }

@@ -170,6 +170,67 @@ impl<'a> ProcessCtx<'a> {
         }
     }
 
+    /// Parks the user thread until `satisfied` holds, a rollback lands
+    /// (unwinding like any blocking point) or the runtime shuts down. The
+    /// speculation-control counterpart of [`await_definite`]'s loop: while
+    /// parked, `LibState::spec_waiting` is set so `Control` wakes this
+    /// process on every `Replace`, not just on finalization.
+    ///
+    /// [`await_definite`]: ProcessCtx::await_definite
+    fn spec_park<F>(&mut self, satisfied: F)
+    where
+        F: Fn(&LibState) -> bool + Clone,
+    {
+        loop {
+            {
+                let mut state = self.lib.lock();
+                if state.pending_rollback.is_some() {
+                    state.spec_waiting = false;
+                    drop(state);
+                    std::panic::panic_any(RollbackSignal);
+                }
+                if satisfied(&state) {
+                    state.spec_waiting = false;
+                    break;
+                }
+                state.spec_waiting = true;
+            }
+            let lib = Arc::clone(self.lib);
+            let cond = satisfied.clone();
+            let mut interrupt = move || {
+                let state = lib.lock();
+                state.pending_rollback.is_some() || cond(&state)
+            };
+            if !self.sys.park(&mut interrupt) {
+                self.lib.lock().spec_waiting = false;
+                std::panic::panic_any(ShutdownSignal);
+            }
+        }
+    }
+
+    /// Returns an AID from `tag` that this process has already observed
+    /// being denied, if any. A message carrying such a tag is *doomed*:
+    /// receiving it would open an interval whose rollback is certain.
+    /// Only consulted when an adaptive/pessimistic policy is active —
+    /// the default optimistic path never inspects `known_denied`.
+    fn doomed_aid(&self, tag: &IdoSet) -> Option<AidId> {
+        let state = self.lib.lock();
+        if !state.spec.is_active() || state.known_denied.is_empty() {
+            return None;
+        }
+        tag.iter().copied().find(|a| state.known_denied.contains(a))
+    }
+
+    /// Accounts for one proactively cancelled doomed interval (a tagged
+    /// message discarded before its implicit guess could open one).
+    fn discard_doomed(&mut self, aid: AidId) {
+        self.metrics
+            .cancelled_intervals
+            .fetch_add(1, Ordering::Relaxed);
+        self.lib.lock().spec.count_cancelled();
+        self.trace(TraceEventKind::CancelDoomed { aid, message: true });
+    }
+
     /// Registers interval `iid` with every assumption in `members` by
     /// sending `Guess` messages (the DOM registration of §5.2). With delta
     /// registration `members` holds only *newly acquired* assumptions —
@@ -275,6 +336,18 @@ impl<'a> ProcessCtx<'a> {
     /// Idiomatically used as the condition of an `if`: the `true` branch
     /// holds the optimistic algorithm, the `false` branch the pessimistic
     /// one.
+    ///
+    /// Under [`SpecPolicy::Adaptive`](hope_types::SpecPolicy) or
+    /// [`SpecPolicy::Pessimistic`](hope_types::SpecPolicy) this primitive
+    /// deliberately trades its wait-freedom for bounded waste: a guess on
+    /// an AID known to be denied returns `false` immediately without
+    /// opening an interval; a guess past the configured speculation depth
+    /// waits for the chain to drain; and a guess while throttled (or
+    /// always, under `Pessimistic`) opens its interval but then waits for
+    /// the assumption to resolve before continuing — the pessimistic
+    /// regime. Progress is still guaranteed whenever the assumption is
+    /// eventually resolved, exactly the contract of
+    /// [`await_definite`](ProcessCtx::await_definite).
     pub fn guess(&mut self, aid: AidId) -> bool {
         if self.log.is_replaying() {
             self.metrics.replayed_ops.fetch_add(1, Ordering::Relaxed);
@@ -287,6 +360,59 @@ impl<'a> ProcessCtx<'a> {
             };
         }
         self.check_rollback();
+        // Adaptive speculation control (DESIGN.md §9); every gate is a
+        // no-op under the default AlwaysOptimistic policy.
+        let (spec_active, known_denied, max_depth) = {
+            let state = self.lib.lock();
+            (
+                state.spec.is_active(),
+                state.is_known_denied(&aid),
+                state.spec.max_depth(),
+            )
+        };
+        if spec_active && known_denied {
+            // The AID is provably False: an interval opened on it would be
+            // doomed on arrival of its own registration. Resolve on the
+            // spot with the outcome the rollback would have produced.
+            self.metrics.guesses.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .cancelled_intervals
+                .fetch_add(1, Ordering::Relaxed);
+            self.lib.lock().spec.count_cancelled();
+            self.log.record(Op::Guess {
+                aid,
+                outcome: false,
+            });
+            self.trace(TraceEventKind::CancelDoomed {
+                aid,
+                message: false,
+            });
+            return false;
+        }
+        if let Some(max_depth) = max_depth {
+            // Bounded speculation depth: a deny storm must not build an
+            // arbitrarily deep rollback cascade, so wait for the
+            // unaffirmed chain to drain below the cap first.
+            let below_cap = move |state: &LibState| {
+                state
+                    .history
+                    .intervals()
+                    .iter()
+                    .filter(|r| !r.definite)
+                    .count()
+                    < max_depth as usize
+            };
+            if !below_cap(&self.lib.lock()) {
+                self.trace(TraceEventKind::SpecWait {
+                    aid,
+                    depth_limited: true,
+                });
+                self.spec_park(below_cap);
+            }
+        }
+        // Read the throttle after any depth wait: resolutions observed
+        // while parked may have flipped the regime.
+        let throttled = self.lib.lock().spec.is_throttled(aid);
         self.metrics.guesses.fetch_add(1, Ordering::Relaxed);
         let op = self.log.record(Op::Guess { aid, outcome: true });
         let (iid, delta) = {
@@ -312,6 +438,19 @@ impl<'a> ProcessCtx<'a> {
             implicit: false,
         });
         self.trace(TraceEventKind::Guess { aid, interval: iid });
+        if throttled {
+            // Pessimistic regime: the interval is open (keeping dependency
+            // tracking sound by construction), but instead of running
+            // ahead speculatively, wait here until the assumption leaves
+            // this interval's IDO — an affirm resolved it — or a deny
+            // unwinds us through the normal rollback path, which flips
+            // this guess's logged outcome to `false`.
+            self.trace(TraceEventKind::SpecWait {
+                aid,
+                depth_limited: false,
+            });
+            self.spec_park(move |state: &LibState| !state.history.current().ido.contains(&aid));
+        }
         true
     }
 
@@ -508,57 +647,68 @@ impl<'a> ProcessCtx<'a> {
             };
         }
         self.check_rollback();
-        let lib = Arc::clone(self.lib);
-        let mut interrupt = move || lib.lock().pending_rollback.is_some();
-        match self.sys.receive(channel, &mut interrupt) {
-            None => {
-                if self.lib.lock().pending_rollback.is_some() {
-                    std::panic::panic_any(RollbackSignal);
+        loop {
+            let lib = Arc::clone(self.lib);
+            let mut interrupt = move || lib.lock().pending_rollback.is_some();
+            match self.sys.receive(channel, &mut interrupt) {
+                None => {
+                    if self.lib.lock().pending_rollback.is_some() {
+                        std::panic::panic_any(RollbackSignal);
+                    }
+                    std::panic::panic_any(ShutdownSignal);
                 }
-                std::panic::panic_any(ShutdownSignal);
-            }
-            Some(received) => {
-                let src = received.src;
-                let msg = received.msg;
-                let op = self.log.record(Op::Receive {
-                    src,
-                    msg: msg.clone(),
-                });
-                if !msg.tag.is_empty() {
-                    self.metrics
-                        .implicit_guesses
-                        .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
-                    let (iid, delta) = {
-                        let mut lib = self.lib.lock();
-                        let iid = lib.history.open_interval(
-                            IntervalOrigin::ImplicitReceive { op },
-                            msg.tag.iter().copied(),
-                        );
-                        let pos = lib.history.intervals().len() - 1;
-                        // Delta registration: only tag members this process
-                        // is not already registered for (DESIGN.md S7).
-                        let delta: IdoSet = msg
-                            .tag
-                            .iter()
-                            .filter(|y| !lib.history.held_before(pos, y))
-                            .copied()
-                            .collect();
-                        (iid, delta)
+                Some(received) => {
+                    let src = received.src;
+                    let msg = received.msg;
+                    // Doomed-interval cancellation: a tag naming an AID this
+                    // process has already seen denied would open an interval
+                    // guaranteed to roll back. Discard the message before
+                    // guessing (it is never logged, so replay is unaffected)
+                    // and block for the next one.
+                    if let Some(doomed) = self.doomed_aid(&msg.tag) {
+                        self.discard_doomed(doomed);
+                        continue;
+                    }
+                    let op = self.log.record(Op::Receive {
+                        src,
+                        msg: msg.clone(),
+                    });
+                    if !msg.tag.is_empty() {
+                        self.metrics
+                            .implicit_guesses
+                            .fetch_add(msg.tag.len() as u64, Ordering::Relaxed);
+                        let (iid, delta) = {
+                            let mut lib = self.lib.lock();
+                            let iid = lib.history.open_interval(
+                                IntervalOrigin::ImplicitReceive { op },
+                                msg.tag.iter().copied(),
+                            );
+                            let pos = lib.history.intervals().len() - 1;
+                            // Delta registration: only tag members this process
+                            // is not already registered for (DESIGN.md S7).
+                            let delta: IdoSet = msg
+                                .tag
+                                .iter()
+                                .filter(|y| !lib.history.held_before(pos, y))
+                                .copied()
+                                .collect();
+                            (iid, delta)
+                        };
+                        self.register_guesses(iid, &delta);
+                        self.trace(TraceEventKind::IntervalOpen {
+                            interval: iid,
+                            implicit: true,
+                        });
+                        self.trace(TraceEventKind::ImplicitGuess {
+                            new_aids: delta.len() as u64,
+                            interval: iid,
+                        });
+                    }
+                    return Delivery {
+                        src,
+                        channel: msg.channel,
+                        data: msg.data,
                     };
-                    self.register_guesses(iid, &delta);
-                    self.trace(TraceEventKind::IntervalOpen {
-                        interval: iid,
-                        implicit: true,
-                    });
-                    self.trace(TraceEventKind::ImplicitGuess {
-                        new_aids: delta.len() as u64,
-                        interval: iid,
-                    });
-                }
-                Delivery {
-                    src,
-                    channel: msg.channel,
-                    data: msg.data,
                 }
             }
         }
@@ -584,8 +734,23 @@ impl<'a> ProcessCtx<'a> {
             });
         }
         self.check_rollback();
-        let received = self.sys.try_receive(channel);
-        let result = received.map(|r| (r.src, r.msg));
+        let result = loop {
+            let received = self.sys.try_receive(channel);
+            match received {
+                Some(r) => {
+                    // Doomed-interval cancellation: see `receive`. The
+                    // discarded message is never logged, so the op stream
+                    // only ever records deliveries that opened (or skipped
+                    // opening) an interval for real.
+                    if let Some(doomed) = self.doomed_aid(&r.msg.tag) {
+                        self.discard_doomed(doomed);
+                        continue;
+                    }
+                    break Some((r.src, r.msg));
+                }
+                None => break None,
+            }
+        };
         let op = self.log.record(Op::TryReceive {
             result: result.clone(),
         });

@@ -9,7 +9,10 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use hope_runtime::{ControlHandler, FaultPlan, NetworkConfig, RunReport, SimRuntime, SysApi};
-use hope_types::{BlameKey, ProcessId, TraceCollector, TraceEventKind, VirtualTime, WastedWork};
+use hope_types::{
+    BlameKey, ProcessId, SpecPolicy, SpecSnapshot, TraceCollector, TraceEventKind, VirtualTime,
+    WastedWork,
+};
 
 use crate::config::{DenyPolicy, GuessRollbackPolicy, HopeConfig, RetractPolicy};
 use crate::ctx::{ProcessCtx, RollbackSignal, ShutdownSignal};
@@ -301,6 +304,22 @@ fn perform_rollback(
         reexecutions: 1,
     };
     metrics.charge_rollback(blame, wasted);
+    // Adaptive speculation control: a caused rollback on this live path is
+    // the one place a deny provably reached this process (replays and
+    // crash recoveries never get here with a cause), so feed the deny-rate
+    // EWMA exactly once per cascade. Crash-caused rollbacks carry no
+    // cause and charge nothing — a crash is not evidence against the
+    // assumption.
+    {
+        let mut state = lib.lock();
+        state.spec_waiting = false;
+        if !crash_recovery {
+            if let Some(cause_aid) = cause {
+                let now = sys.now();
+                state.observe_resolution(cause_aid, true, now);
+            }
+        }
+    }
     if metrics.tracer.is_enabled() {
         let pid = sys.pid();
         let now = sys.now();
@@ -423,6 +442,22 @@ impl HopeEnvBuilder {
         self
     }
 
+    /// Speculation-control policy (DESIGN.md §9). Defaults to
+    /// [`SpecPolicy::AlwaysOptimistic`], the paper's unconditional guess.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`HopeError::InvalidSpecPolicy`](hope_types::HopeError)
+    /// rendering when `policy` fails validation (mirrors the `FaultPlan`
+    /// precedent of rejecting bad configuration at build time).
+    pub fn spec_policy(mut self, policy: SpecPolicy) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("{e}");
+        }
+        self.config.spec_policy = policy;
+        self
+    }
+
     /// Event-count safety valve.
     pub fn max_events(mut self, max_events: u64) -> Self {
         self.max_events = max_events;
@@ -464,7 +499,15 @@ impl HopeEnvBuilder {
     }
 
     /// Builds the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured [`SpecPolicy`] is invalid (it can reach
+    /// the builder unvalidated through [`HopeEnvBuilder::config`]).
     pub fn build(self) -> HopeEnv {
+        if let Err(e) = self.config.spec_policy.validate() {
+            panic!("{e}");
+        }
         let metrics = Arc::new(HopeMetrics::new());
         let mut builder = SimRuntime::builder()
             .seed(self.seed)
@@ -572,24 +615,32 @@ impl HopeEnv {
             .collect()
     }
 
+    /// A snapshot of a process's speculation-control state (EWMAs, flips,
+    /// cancellations). Tracked for [`HopeEnv::spawn_user`] processes only,
+    /// like [`history_of`](HopeEnv::history_of).
+    pub fn spec_of(&self, pid: ProcessId) -> Option<SpecSnapshot> {
+        self.libs
+            .iter()
+            .find(|(p, _, _)| *p == pid)
+            .map(|(_, _, lib)| lib.lock().spec_snapshot())
+    }
+
     /// Runs to quiescence and reports.
     pub fn run(&mut self) -> HopeReport {
         let mut run = self.rt.run();
+        let hope = self.metrics.snapshot();
         run.attribution = self.metrics.attribution();
-        HopeReport {
-            run,
-            hope: self.metrics.snapshot(),
-        }
+        run.cancelled_intervals = hope.cancelled_intervals;
+        HopeReport { run, hope }
     }
 
     /// Runs until `deadline` (later events stay queued).
     pub fn run_until(&mut self, deadline: VirtualTime) -> HopeReport {
         let mut run = self.rt.run_until(deadline);
+        let hope = self.metrics.snapshot();
         run.attribution = self.metrics.attribution();
-        HopeReport {
-            run,
-            hope: self.metrics.snapshot(),
-        }
+        run.cancelled_intervals = hope.cancelled_intervals;
+        HopeReport { run, hope }
     }
 
     /// Current virtual time.

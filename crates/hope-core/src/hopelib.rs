@@ -12,7 +12,10 @@
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use hope_types::{AidId, HopeMessage, IdoSet, IntervalId, Payload, ProcessId};
+use hope_types::{
+    AidId, HopeMessage, IdoSet, IntervalId, Payload, ProcessId, SpecController, SpecSnapshot,
+    TraceEventKind, VirtualTime,
+};
 
 use hope_runtime::{ControlApi, ControlHandler};
 use parking_lot::Mutex;
@@ -75,7 +78,31 @@ pub struct LibState {
     /// re-execution continues the sequence instead of re-issuing channels
     /// that stale in-flight replies may still target.
     pub(crate) next_channel_seq: u32,
+    /// Adaptive speculation control (DESIGN.md §9): the per-process
+    /// deny-rate EWMA controller fed from the rollback-attribution path
+    /// and interval finalization. Inert under
+    /// [`SpecPolicy::AlwaysOptimistic`](hope_types::SpecPolicy).
+    pub(crate) spec: SpecController,
+    /// AIDs this process has *proof* are denied: every `Rollback` message
+    /// carries its cause only when the AID resolved `False`, so members
+    /// are definitively dead. Used for early doomed-interval cancellation:
+    /// a tagged message intersecting this set is discarded before its
+    /// implicit interval opens, and a `guess` on a member short-circuits
+    /// to `false`. Only populated while the controller is active.
+    pub(crate) known_denied: IdoSet,
+    /// True while the user thread is parked in a speculation-control wait
+    /// (pessimistic-regime or depth gate). `Control` then wakes the
+    /// process on any `Replace`, not just on finalization, so a waiter
+    /// whose assumption left the IDO without finalizing its interval is
+    /// not stranded. Never set under the default policy, keeping the
+    /// default wake pattern untouched.
+    pub(crate) spec_waiting: bool,
 }
+
+/// Members [`LibState::known_denied`] may hold before the oldest (lowest
+/// AID — creation order) is dropped; dead assumptions lose cancellation
+/// value with age, and the set must not grow with run length.
+const KNOWN_DENIED_CAP: usize = 4096;
 
 impl LibState {
     /// Creates unbound state; [`LibState::bind`] attaches the process id
@@ -87,6 +114,9 @@ impl LibState {
             bound: false,
             history: History::new(placeholder),
             pending_rollback: None,
+            spec: SpecController::new(config.spec_policy),
+            known_denied: IdoSet::new(),
+            spec_waiting: false,
             config,
             metrics,
             store: None,
@@ -151,6 +181,75 @@ impl LibState {
         &self.metrics
     }
 
+    /// Plain-value snapshot of the speculation controller.
+    pub fn spec_snapshot(&self) -> SpecSnapshot {
+        self.spec.snapshot()
+    }
+
+    /// True when `aid` is definitively known denied by this process.
+    pub fn is_known_denied(&self, aid: &AidId) -> bool {
+        self.known_denied.contains(aid)
+    }
+
+    /// Latches `aid` as definitively denied (only `False`-state AIDs ever
+    /// send a caused `Rollback`). Bounded: the oldest member is dropped
+    /// past [`KNOWN_DENIED_CAP`].
+    pub(crate) fn note_denied(&mut self, aid: AidId) {
+        if !self.spec.is_active() {
+            return;
+        }
+        self.known_denied.insert(aid);
+        if self.known_denied.len() > KNOWN_DENIED_CAP {
+            let oldest = self.known_denied.as_slice()[0];
+            self.known_denied.remove(&oldest);
+        }
+    }
+
+    /// Feeds one observed resolution of `aid` into the deny-rate EWMAs
+    /// and emits the `SpecObserve`/`SpecThrottle` trace events. A no-op
+    /// under the default policy so the hot path stays untouched.
+    pub(crate) fn observe_resolution(&mut self, aid: AidId, denied: bool, now: VirtualTime) {
+        if !self.spec.is_active() {
+            return;
+        }
+        let obs = self.spec.observe(aid, denied);
+        if !self.metrics.tracer.is_enabled() {
+            return;
+        }
+        self.metrics.tracer.record(
+            self.pid,
+            now,
+            TraceEventKind::SpecObserve {
+                aid,
+                denied,
+                aid_ewma: obs.aid_ewma,
+                process_ewma: obs.process_ewma,
+            },
+        );
+        if let Some(on) = obs.aid_flip {
+            self.metrics.tracer.record(
+                self.pid,
+                now,
+                TraceEventKind::SpecThrottle {
+                    aid: Some(aid),
+                    on,
+                    ewma: obs.aid_ewma,
+                },
+            );
+        }
+        if let Some(on) = obs.process_flip {
+            self.metrics.tracer.record(
+                self.pid,
+                now,
+                TraceEventKind::SpecThrottle {
+                    aid: None,
+                    on,
+                    ewma: obs.process_ewma,
+                },
+            );
+        }
+    }
+
     /// Handles one HOPE protocol message (the paper's `control` function).
     pub fn handle_control(&mut self, src: ProcessId, msg: HopeMessage, api: &mut dyn ControlApi) {
         if !self.bound {
@@ -176,6 +275,12 @@ impl LibState {
         cause: Option<hope_types::AidId>,
         api: &mut dyn ControlApi,
     ) {
+        // A caused Rollback is proof of a deny: `AidMachine` attaches the
+        // cause only from its `False` state. Latch it for early
+        // cancellation even when the message is otherwise stale.
+        if let Some(c) = cause {
+            self.note_denied(c);
+        }
         match self.history.get(iid) {
             None => {} // stale: the interval was already rolled back
             Some(rec) if rec.definite => {
@@ -271,6 +376,15 @@ impl LibState {
                 .fetch_add(cycles_broken, Ordering::Relaxed);
         }
         self.finalize_ready(api);
+        // A speculation-control waiter may be waiting for its assumption
+        // to leave the IDO without the interval finalizing (the affirm was
+        // speculative, so the sender's assumptions were substituted in).
+        // `finalize_ready` only wakes on finalization; cover the gap, but
+        // only when a waiter actually exists — never under the default
+        // policy.
+        if self.spec_waiting {
+            api.wake();
+        }
     }
 
     /// Crash recovery (fault injection): a restarting process loses its
@@ -324,6 +438,22 @@ impl LibState {
         self.metrics
             .finalized_intervals
             .fetch_add(done.len() as u64, Ordering::Relaxed);
+        if self.spec.is_active() {
+            // Finalization is the affirm-side observation of the deny-rate
+            // EWMA: every assumption this interval was *opened on* (its
+            // trigger set) paid off — the speculation completed without a
+            // rollback. The deny side is observed in `perform_rollback`,
+            // the live attribution path.
+            let now = api.now();
+            let affirmed: Vec<AidId> = done
+                .iter()
+                .filter_map(|(iid, _, _)| self.history.get(*iid))
+                .flat_map(|rec| rec.trigger.iter().copied().collect::<Vec<_>>())
+                .collect();
+            for aid in affirmed {
+                self.observe_resolution(aid, false, now);
+            }
+        }
         for (iid, iha, ihd) in done {
             self.metrics.tracer.record(
                 self.pid,

@@ -86,3 +86,7 @@ pub use interval::{History, IntervalOrigin, IntervalRecord};
 pub use metrics::{HopeMetrics, MetricsSnapshot};
 pub use replay::{LogSink, LogSource, Op, ReplayLog};
 pub use threaded_env::{ThreadedHopeEnv, ThreadedHopeEnvBuilder};
+
+// Speculation-control vocabulary (DESIGN.md §9), re-exported so callers
+// configuring a policy need only this crate.
+pub use hope_types::{SpecController, SpecPolicy, SpecSnapshot};

@@ -42,6 +42,11 @@ pub struct HopeMetrics {
     /// Crash recoveries performed: restarts that discarded speculative
     /// intervals and replayed the operation log to the definite frontier.
     pub crash_recoveries: AtomicU64,
+    /// Doomed speculative intervals cancelled *before* they ran: stale
+    /// tagged messages discarded pre-receive and guesses on known-denied
+    /// AIDs short-circuited to `false` (adaptive speculation control,
+    /// DESIGN.md §9). Zero under `SpecPolicy::AlwaysOptimistic`.
+    pub cancelled_intervals: AtomicU64,
     /// Per-cause rollback attribution: which deny (or crash) wasted how
     /// much work. Charged at rollback time by the environment loop; only
     /// live (non-replayed) rollbacks charge, so crash recovery never
@@ -84,6 +89,8 @@ pub struct MetricsSnapshot {
     pub aids_collected: u64,
     /// See [`HopeMetrics::crash_recoveries`].
     pub crash_recoveries: u64,
+    /// See [`HopeMetrics::cancelled_intervals`].
+    pub cancelled_intervals: u64,
     /// See [`HopeMetrics::attribution`].
     pub attribution: RollbackAttribution,
 }
@@ -127,6 +134,7 @@ impl HopeMetrics {
             cycles_broken: self.cycles_broken.load(Ordering::Relaxed),
             aids_collected: self.aids_collected.load(Ordering::Relaxed),
             crash_recoveries: self.crash_recoveries.load(Ordering::Relaxed),
+            cancelled_intervals: self.cancelled_intervals.load(Ordering::Relaxed),
             attribution: self.attribution(),
         }
     }
@@ -146,12 +154,14 @@ impl fmt::Display for MetricsSnapshot {
         )?;
         write!(
             f,
-            "late_rollbacks={} violations={} cycles_broken={} aids_collected={} crash_recoveries={}",
+            "late_rollbacks={} violations={} cycles_broken={} aids_collected={} \
+             crash_recoveries={} cancelled_intervals={}",
             self.late_rollbacks,
             self.aid_contract_violations,
             self.cycles_broken,
             self.aids_collected,
-            self.crash_recoveries
+            self.crash_recoveries,
+            self.cancelled_intervals
         )?;
         if !self.attribution.is_empty() {
             write!(f, "\n{}", self.attribution)?;

@@ -9,13 +9,16 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::Mutex;
+
 use hope_runtime::{FaultPlan, NetworkConfig, RunReport, ThreadedRuntime};
-use hope_types::ProcessId;
+use hope_types::{ProcessId, SpecPolicy, SpecSnapshot};
 
 use crate::config::HopeConfig;
 use crate::ctx::ProcessCtx;
 use crate::durable::{DurableConfig, DurableSnapshot, StoreRegistry};
 use crate::env::make_user_process;
+use crate::hopelib::LibState;
 use crate::metrics::{HopeMetrics, MetricsSnapshot};
 
 /// Builds a [`ThreadedHopeEnv`].
@@ -73,8 +76,31 @@ impl ThreadedHopeEnvBuilder {
         self
     }
 
+    /// Speculation-control policy (DESIGN.md §9); see
+    /// [`HopeEnvBuilder::spec_policy`](crate::HopeEnvBuilder::spec_policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `policy` fails validation.
+    pub fn spec_policy(mut self, policy: SpecPolicy) -> Self {
+        if let Err(e) = policy.validate() {
+            panic!("{e}");
+        }
+        self.config.spec_policy = policy;
+        self
+    }
+
     /// Builds and starts the environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configured [`SpecPolicy`] is invalid (it can reach
+    /// the builder unvalidated through
+    /// [`config`](ThreadedHopeEnvBuilder::config)).
     pub fn build(self) -> ThreadedHopeEnv {
+        if let Err(e) = self.config.spec_policy.validate() {
+            panic!("{e}");
+        }
         let metrics = Arc::new(HopeMetrics::new());
         let mut builder = ThreadedRuntime::builder()
             .seed(self.seed)
@@ -94,6 +120,7 @@ impl ThreadedHopeEnvBuilder {
             rt: builder.build(),
             config: self.config,
             metrics,
+            libs: Mutex::new(Vec::new()),
             registry,
         }
     }
@@ -105,6 +132,7 @@ pub struct ThreadedHopeEnv {
     rt: ThreadedRuntime,
     config: HopeConfig,
     metrics: Arc<HopeMetrics>,
+    libs: Mutex<Vec<(ProcessId, Arc<Mutex<LibState>>)>>,
     registry: Option<Arc<StoreRegistry>>,
 }
 
@@ -119,13 +147,25 @@ impl ThreadedHopeEnv {
     where
         F: Fn(&mut ProcessCtx<'_>) + Send + 'static,
     {
-        let (_lib, control, runner) = make_user_process(
+        let (lib, control, runner) = make_user_process(
             self.config,
             self.metrics.clone(),
             self.registry.clone(),
             Box::new(body),
         );
-        self.rt.spawn_threaded(name, Some(control), runner)
+        let pid = self.rt.spawn_threaded(name, Some(control), runner);
+        self.libs.lock().push((pid, lib));
+        pid
+    }
+
+    /// A snapshot of a process's speculation-control state; the threaded
+    /// counterpart of [`HopeEnv::spec_of`](crate::HopeEnv::spec_of).
+    pub fn spec_of(&self, pid: ProcessId) -> Option<SpecSnapshot> {
+        self.libs
+            .lock()
+            .iter()
+            .find(|(p, _)| *p == pid)
+            .map(|(_, lib)| lib.lock().spec_snapshot())
     }
 
     /// Aggregate durable-store counters, when the environment was built
@@ -139,7 +179,9 @@ impl ThreadedHopeEnv {
     /// means the timeout fired first.
     pub fn run_until_quiescent(&self, grace: Duration, timeout: Duration) -> RunReport {
         let mut run = self.rt.run_until_quiescent(grace, timeout);
+        let hope = self.metrics.snapshot();
         run.attribution = self.metrics.attribution();
+        run.cancelled_intervals = hope.cancelled_intervals;
         run
     }
 

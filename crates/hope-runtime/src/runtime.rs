@@ -610,6 +610,7 @@ impl SimRuntime {
             stats: self.stats.clone(),
             hit_event_limit,
             attribution: Default::default(),
+            cancelled_intervals: 0,
         }
     }
 

@@ -1007,6 +1007,7 @@ impl ThreadedRuntime {
             stats: self.inner.stats.lock().clone(),
             hit_event_limit: hit_timeout,
             attribution: Default::default(),
+            cancelled_intervals: 0,
         }
     }
 

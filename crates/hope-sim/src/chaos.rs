@@ -18,7 +18,7 @@
 
 use std::sync::{Arc, Mutex};
 
-use hope_core::{HopeEnv, HopeReport, ThreadedHopeEnv};
+use hope_core::{HopeEnv, HopeReport, SpecPolicy, ThreadedHopeEnv};
 use hope_runtime::{FaultPlan, LinkStats, NetworkConfig};
 use hope_types::{ProcessId, VirtualDuration, VirtualTime};
 
@@ -38,6 +38,10 @@ pub struct ChaosConfig {
     pub replicas: u32,
     /// Dependent calls in the chain scenario.
     pub depth: u32,
+    /// Speculation-control policy for every process in the run
+    /// (DESIGN.md §9). The safety outcomes must hold whatever the policy:
+    /// throttling changes *when* a process speculates, never what commits.
+    pub policy: SpecPolicy,
     /// Seed for the network, the workload and the fault model.
     pub seed: u64,
 }
@@ -50,6 +54,7 @@ impl Default for ChaosConfig {
             crash: true,
             replicas: 4,
             depth: 6,
+            policy: SpecPolicy::AlwaysOptimistic,
             seed: 0,
         }
     }
@@ -143,6 +148,7 @@ pub fn run_replication(cfg: ChaosConfig) -> ChaosResult {
         .seed(cfg.seed)
         .network(NetworkConfig::constant(rep.latency))
         .faults(plan)
+        .spec_policy(cfg.policy)
         .build();
     let (faulted, report) = replication::run_in(env, rep);
     check(
@@ -193,6 +199,7 @@ fn run_chain_inner(
         .seed(cfg.seed)
         .network(NetworkConfig::constant(chain_cfg.latency))
         .faults(plan)
+        .spec_policy(cfg.policy)
         .build();
     if let Some(capacity) = trace_capacity {
         env.enable_tracing(capacity);
@@ -236,6 +243,7 @@ pub fn run_threaded(cfg: ChaosConfig) -> ChaosResult {
     let env = ThreadedHopeEnv::builder()
         .seed(cfg.seed)
         .faults(plan)
+        .spec_policy(cfg.policy)
         .build();
     let count = Arc::new(Mutex::new(0u32));
     let mut guessers = Vec::new();
@@ -410,6 +418,37 @@ mod tests {
         });
         assert!(r.matches_fault_free);
         assert!(r.finalized > 0);
+    }
+
+    /// DESIGN.md §9: adaptive throttling under drops, duplicates and a
+    /// crash/restart must preserve the theorem 5.1 safety outcomes — the
+    /// faulted runs commit the fault-free outcomes, nothing livelocks,
+    /// and crash recovery still lands on the definite frontier. A low
+    /// threshold makes a single observed deny actually throttle, so the
+    /// parked-guess paths run under fault pressure, not just in the
+    /// clean-network tests.
+    #[test]
+    fn adaptive_policy_is_safe_under_chaos() {
+        let policy = SpecPolicy::adaptive(0.1, 4, 0.05).unwrap();
+        for seed in [0, 7] {
+            let cfg = ChaosConfig {
+                policy,
+                seed,
+                ..ChaosConfig::default()
+            };
+            let rep = run_replication(cfg);
+            assert!(rep.matches_fault_free, "replication seed {seed}");
+            let chain = run_chain(cfg);
+            assert!(chain.matches_fault_free, "chain seed {seed}");
+            assert!(chain.finalized > 0);
+        }
+        let threaded = run_threaded(ChaosConfig {
+            policy,
+            drop_rate: 0.1,
+            duplicate_rate: 0.1,
+            ..ChaosConfig::default()
+        });
+        assert!(threaded.matches_fault_free, "threaded chaos under adaptive");
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`soak`]       | E9    | mixed load: latency percentiles under rollback pressure |
 //! | [`protocol`]   | T1    | Table 1 message accounting |
 //! | [`chaos`]      | E-chaos | fault injection: safety invariants under drop/dup/crash |
+//! | [`contention`] | E-adaptive | adaptive speculation control under configurable deny rates |
 //! | [`disk_chaos`] | E-disk  | durable op-log recovery under crashes with storage faults |
 //! | [`scenarios`]  | E-check | zero-latency scenario builders for the `hope-check` model checker |
 
@@ -25,6 +26,7 @@
 
 pub mod chain;
 pub mod chaos;
+pub mod contention;
 pub mod disk_chaos;
 pub mod json;
 pub mod printer;

@@ -8,7 +8,7 @@
 //! the way. Scenario builders return an un-run [`HopeEnv`]; the checker
 //! drives it step by step through the runtime's scheduler hook.
 
-use hope_core::{DurableConfig, HopeEnv, SyncPolicy};
+use hope_core::{DurableConfig, HopeEnv, SpecPolicy, SyncPolicy};
 use hope_runtime::{FaultPlan, NetworkConfig, StorageFaultPlan};
 use hope_types::{AidId, ProcessId, VirtualDuration, VirtualTime};
 
@@ -96,6 +96,53 @@ pub fn chaos_ring(n: usize, seed: u64) -> HopeEnv {
     env
 }
 
+/// A mutual-affirm ring plus a **persistently denied** "storm" AID, under
+/// a configurable speculation policy (DESIGN.md §9). Every ring process
+/// first affirms its successor's AID — unconditionally, so ring progress
+/// is never gated behind this process's own guesses (under
+/// [`SpecPolicy::Pessimistic`], which waits at the guess, a guarded affirm
+/// would deadlock the ring) — then guesses the storm AID the coordinator
+/// is about to deny, then its own. Lossless and crash-free, so every
+/// schedule must converge with all intervals definite and within the
+/// wait-freedom step bound, whichever policy is active: unthrottled
+/// optimism eats the rollback, throttled processes must be woken by the
+/// `Replace`/`Rollback` that resolves their parked guess.
+pub fn deny_storm(n: usize, policy: SpecPolicy, seed: u64) -> HopeEnv {
+    assert!(n >= 2, "a storm ring needs at least two processes");
+    let mut env = HopeEnv::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::ZERO))
+        .cycle_detection(true)
+        .max_events(1_000_000)
+        .spec_policy(policy)
+        .build();
+    let mut pids = Vec::new();
+    for i in 0..n {
+        let pid = env.spawn_user(&format!("storm-{i}"), move |ctx| {
+            let m = ctx.receive(None);
+            let aids = decode_aids(&m.data);
+            let ring = aids.len() - 1; // last AID is the storm
+            let mine = aids[i];
+            let next = aids[(i + 1) % ring];
+            let storm = aids[ring];
+            ctx.affirm(next);
+            let _doomed = ctx.guess(storm);
+            let _ = ctx.guess(mine);
+        });
+        pids.push(pid);
+    }
+    env.spawn_user("coordinator", move |ctx| {
+        let mut aids: Vec<AidId> = (0..=pids.len()).map(|_| ctx.aid_init()).collect();
+        let payload = encode_aids(&aids);
+        for &p in &pids {
+            ctx.send(p, 0, payload.clone());
+        }
+        let storm = aids.pop().expect("storm AID");
+        ctx.deny(storm);
+    });
+    env
+}
+
 /// The chaos ring with **durable op-logs and storage faults**: every
 /// process journals to a segmented WAL, and ring-0's crash image takes a
 /// seeded storage fault (torn final record, lost fsync window, or bit
@@ -173,6 +220,25 @@ mod tests {
         for pid in env.user_pids() {
             let history = env.history_of(pid).expect("tracked");
             assert!(history.iter().all(|r| r.definite));
+        }
+    }
+
+    #[test]
+    fn deny_storm_converges_in_default_order_under_every_policy() {
+        let policies = [
+            SpecPolicy::AlwaysOptimistic,
+            SpecPolicy::adaptive(0.1, 4, 0.05).unwrap(),
+            SpecPolicy::Pessimistic,
+        ];
+        for policy in policies {
+            let mut env = deny_storm(2, policy, 1);
+            let report = env.run();
+            assert!(report.is_clean(), "{policy:?}: {:?}", report.run.panics);
+            assert!(report.run.blocked.is_empty(), "{policy:?}");
+            for pid in env.user_pids() {
+                let history = env.history_of(pid).expect("tracked");
+                assert!(history.iter().all(|r| r.definite), "{policy:?}");
+            }
         }
     }
 

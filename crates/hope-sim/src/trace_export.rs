@@ -130,6 +130,52 @@ fn describe(kind: &TraceEventKind) -> (&'static str, &'static str, Vec<(String, 
                 ("seq".into(), Value::Number(*seq as i64)),
             ],
         ),
+        TraceEventKind::SpecObserve {
+            aid,
+            denied,
+            aid_ewma,
+            process_ewma,
+        } => (
+            "spec_observe",
+            "speculation",
+            vec![
+                ("aid".into(), s(aid)),
+                ("denied".into(), Value::Number(*denied as i64)),
+                ("aid_ewma".into(), Value::Number(*aid_ewma as i64)),
+                ("process_ewma".into(), Value::Number(*process_ewma as i64)),
+            ],
+        ),
+        TraceEventKind::SpecThrottle { aid, on, ewma } => (
+            "spec_throttle",
+            "speculation",
+            vec![
+                (
+                    "aid".into(),
+                    match aid {
+                        Some(aid) => s(aid),
+                        None => Value::Null,
+                    },
+                ),
+                ("on".into(), Value::Number(*on as i64)),
+                ("ewma".into(), Value::Number(*ewma as i64)),
+            ],
+        ),
+        TraceEventKind::SpecWait { aid, depth_limited } => (
+            "spec_wait",
+            "speculation",
+            vec![
+                ("aid".into(), s(aid)),
+                ("depth_limited".into(), Value::Number(*depth_limited as i64)),
+            ],
+        ),
+        TraceEventKind::CancelDoomed { aid, message } => (
+            "cancel_doomed",
+            "speculation",
+            vec![
+                ("aid".into(), s(aid)),
+                ("message".into(), Value::Number(*message as i64)),
+            ],
+        ),
     }
 }
 
@@ -393,6 +439,22 @@ mod tests {
             TraceEventKind::Crash,
             TraceEventKind::Restart,
             TraceEventKind::TagDecodeMismatch { src: pid, seq: 1 },
+            TraceEventKind::SpecObserve {
+                aid,
+                denied: true,
+                aid_ewma: 8192,
+                process_ewma: 4096,
+            },
+            TraceEventKind::SpecThrottle {
+                aid: Some(aid),
+                on: true,
+                ewma: 8192,
+            },
+            TraceEventKind::SpecWait {
+                aid,
+                depth_limited: false,
+            },
+            TraceEventKind::CancelDoomed { aid, message: true },
         ];
         let events: Vec<TraceEvent> = kinds
             .into_iter()

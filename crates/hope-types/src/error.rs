@@ -52,6 +52,12 @@ pub enum HopeError {
     /// process. Rejecting the plan up front replaces what would
     /// otherwise be undefined seeded behaviour mid-run.
     InvalidFaultPlan(String),
+    /// A [`SpecPolicy`](crate::SpecPolicy) failed validation at build
+    /// time: a NaN or out-of-range deny-rate threshold, a zero `max_depth`
+    /// (which would forbid every guess forever), or a hysteresis band at
+    /// least as wide as the threshold (which could never re-enable
+    /// optimism). Mirrors the `FaultPlan` validation precedent.
+    InvalidSpecPolicy(String),
 }
 
 impl fmt::Display for HopeError {
@@ -81,6 +87,9 @@ impl fmt::Display for HopeError {
             ),
             HopeError::Codec(msg) => write!(f, "payload codec error: {msg}"),
             HopeError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
+            HopeError::InvalidSpecPolicy(msg) => {
+                write!(f, "invalid speculation policy: {msg}")
+            }
         }
     }
 }
@@ -112,6 +121,14 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("invalid fault plan"));
         assert!(s.contains("NaN"));
+    }
+
+    #[test]
+    fn invalid_spec_policy_carries_the_reason() {
+        let e = HopeError::InvalidSpecPolicy("max_depth must be >= 1".into());
+        let s = e.to_string();
+        assert!(s.contains("invalid speculation policy"));
+        assert!(s.contains("max_depth"));
     }
 
     #[test]

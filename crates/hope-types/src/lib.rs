@@ -38,6 +38,7 @@ mod error;
 mod ids;
 mod message;
 mod sets;
+pub mod spec;
 mod time;
 pub mod trace;
 
@@ -46,6 +47,7 @@ pub use error::HopeError;
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use message::{definite_interval, DepTag, Envelope, HopeMessage, Payload, UserMessage};
 pub use sets::{IdSet, IdoSet, IntervalSet};
+pub use spec::{SpecController, SpecObservation, SpecPolicy, SpecSnapshot, SpecStats};
 pub use time::{VirtualDuration, VirtualTime};
 pub use trace::{
     BlameKey, RollbackAttribution, TraceCollector, TraceEvent, TraceEventKind, WastedWork,

@@ -144,6 +144,51 @@ pub enum TraceEventKind {
         /// Link sequence number.
         seq: u64,
     },
+    /// The speculation controller folded in one observed resolution
+    /// (adaptive speculation control, DESIGN.md §9). EWMAs are Q16 fixed
+    /// point; the per-pid event order is this process's observation order,
+    /// so filtering a trace by pid yields the exact EWMA trajectory.
+    SpecObserve {
+        /// The resolved assumption.
+        aid: AidId,
+        /// True for a deny (observed through rollback attribution), false
+        /// for an affirm (observed through interval finalization).
+        denied: bool,
+        /// Post-observation per-AID deny-rate EWMA (Q16).
+        aid_ewma: u32,
+        /// Post-observation process-aggregate deny-rate EWMA (Q16).
+        process_ewma: u32,
+    },
+    /// The adaptive policy flipped regime for one key.
+    SpecThrottle {
+        /// The AID whose per-AID EWMA flipped, or `None` for the
+        /// process-aggregate EWMA.
+        aid: Option<AidId>,
+        /// True entering the pessimistic regime, false resuming optimism.
+        on: bool,
+        /// The EWMA value at the flip (Q16).
+        ewma: u32,
+    },
+    /// A `guess` waited under speculation control before proceeding:
+    /// either the guessed AID (or the process) was throttled into the
+    /// pessimistic regime, or the unaffirmed guess chain hit `max_depth`.
+    SpecWait {
+        /// The assumption being guessed.
+        aid: AidId,
+        /// True when the wait was for chain depth rather than throttling.
+        depth_limited: bool,
+    },
+    /// Doomed speculative work was cancelled before it could run: the AID
+    /// is known denied, so the interval that would have depended on it was
+    /// never opened (early doomed-interval cancellation).
+    CancelDoomed {
+        /// The known-denied assumption that doomed the work.
+        aid: AidId,
+        /// True when a stale tagged message was discarded before its
+        /// implicit receive interval opened; false when an explicit
+        /// `guess` was short-circuited straight to `false`.
+        message: bool,
+    },
 }
 
 /// One trace record: where, when (twice) and what.
