@@ -222,6 +222,44 @@ pub fn any<T: Arbitrary>() -> Any<T> {
     }
 }
 
+/// A weighted union of same-valued strategies (see [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = rng.below(self.total);
+        for (weight, strat) in &self.arms {
+            if draw < *weight as u64 {
+                return strat.generate(rng);
+            }
+            draw -= *weight as u64;
+        }
+        unreachable!("draw below the weight total always lands in an arm")
+    }
+}
+
+/// Builds a [`Union`]; the building block of the [`prop_oneof!`] macro.
+pub fn union<T>(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+    let total = arms.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "prop_oneof needs at least one positive weight");
+    Union { arms, total }
+}
+
+/// Chooses among strategies, optionally weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::union(vec![$(($weight, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::union(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident/$idx:tt),+);)*) => {$(
         impl<$($s: Strategy),+> Strategy for ($($s,)+) {
@@ -407,8 +445,8 @@ macro_rules! proptest {
 pub mod prelude {
     //! Common imports, mirroring `proptest::prelude`.
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, BoxedStrategy, Just,
-        ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, union, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, Union,
     };
 }
 

@@ -14,11 +14,20 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let table = sweep(&[0.0, 0.05, 0.15, 0.25], ChaosConfig::default());
     hope_bench::emit(&table);
-    let t = run_threaded(ChaosConfig::default());
-    println!(
-        "threaded: correct={} finalized={} rollbacks={} recoveries={} ({})",
-        t.matches_fault_free, t.finalized, t.rollbacks, t.crash_recoveries, t.link
-    );
+    // Shard-count sweep over the wall-clock scenario: the shard count is
+    // a performance knob, never a semantics knob (DESIGN.md §10), so
+    // every row must commit the fault-free outcome.
+    for shards in [1, 2, 4] {
+        let t = run_threaded(ChaosConfig {
+            shards: Some(shards),
+            ..ChaosConfig::default()
+        });
+        println!(
+            "threaded shards={shards}: correct={} finalized={} rollbacks={} recoveries={} ({})",
+            t.matches_fault_free, t.finalized, t.rollbacks, t.crash_recoveries, t.link
+        );
+        assert!(t.matches_fault_free, "shards={shards} must be correct");
+    }
     if let Some(i) = args.iter().position(|a| a == "--trace") {
         let out = args.get(i + 1).expect("--trace requires an output path");
         let (r, trace) = run_chain_traced(ChaosConfig::default(), 1 << 16);

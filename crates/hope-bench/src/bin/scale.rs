@@ -1,0 +1,280 @@
+//! E-scale: throughput of the sharded wall-clock transport (DESIGN.md
+//! §10) across shard counts, and the committed `BENCH_scale.json`
+//! baseline.
+//!
+//! Producer/consumer pairs stream user messages over the threaded
+//! runtime while stacking speculative guesses; every pair's consumer
+//! affirms the assumptions, pricing the `affirm` primitive in wall time
+//! on the real transport. The same closed workload runs at 1, 2, 4 and
+//! 8 delivery shards; outcomes are shard-count independent (asserted),
+//! so the only thing the shard count may change is speed.
+//!
+//! Wall-clock figures are machine-dependent: the `cores` field records
+//! how much parallelism the measuring machine actually had, and the
+//! speedup gate compares against the committed baseline from the same
+//! machine class rather than an absolute target. The affirm-latency
+//! ceiling (the wait-free primitive must stay cheap no matter how many
+//! shards deliver around it) is gated absolutely under
+//! `HOPE_BENCH_CHECK=1`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use hope_bench::baseline;
+use hope_core::ThreadedHopeEnv;
+use hope_runtime::NetworkConfig;
+use hope_sim::json::Value;
+use hope_types::{AidId, ProcessId};
+
+const PAIRS: u64 = 4;
+const MESSAGES: u64 = 2_000;
+const DEPTH: u32 = 32;
+const SEED: u64 = 7;
+/// The committed affirm ceiling (ns): the wall p99 of `affirm` on the
+/// 4-shard transport must stay below the simulator baseline's figure.
+const AFFIRM_P99_CEILING_NS: u64 = 23_058;
+
+fn encode_aids(aids: &[AidId]) -> Bytes {
+    let mut out = Vec::with_capacity(aids.len() * 8);
+    for aid in aids {
+        out.extend_from_slice(&aid.process().as_raw().to_le_bytes());
+    }
+    Bytes::from(out)
+}
+
+fn decode_aids(data: &[u8]) -> Vec<AidId> {
+    data.chunks_exact(8)
+        .map(|c| {
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(c);
+            AidId::from_raw(ProcessId::from_raw(u64::from_le_bytes(raw)))
+        })
+        .collect()
+}
+
+struct ScaleRun {
+    /// User messages per wall second, measured to the moment the last
+    /// consumer finished receiving (excludes the quiescence grace tail).
+    ops_per_sec: f64,
+    /// Wall nanos per `affirm` invocation, all pairs pooled.
+    affirm_wall_ns: Vec<u64>,
+    /// Deterministic outcome: total user messages delivered.
+    user_delivered: u64,
+}
+
+fn run_scale(shards: usize) -> ScaleRun {
+    let env = ThreadedHopeEnv::builder()
+        .seed(SEED)
+        .network(NetworkConfig::local())
+        .shards(shards)
+        .build();
+    let affirm_wall: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+    let stream_done: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+    let streamed = Arc::new(AtomicUsize::new(0));
+    let turn = Arc::new(AtomicUsize::new(0));
+    let start = Instant::now();
+    for pair in 0..PAIRS as usize {
+        let affirm_wall = affirm_wall.clone();
+        let stream_done = stream_done.clone();
+        let streamed = streamed.clone();
+        let turn = turn.clone();
+        let consumer = env.spawn_user("consumer", move |ctx| {
+            let aids = decode_aids(&ctx.receive(Some(1)).data);
+            for _ in 0..MESSAGES {
+                let _ = ctx.receive(Some(0));
+            }
+            stream_done.lock().unwrap().push(start.elapsed());
+            // Quiet the machine before sampling affirm latency: wait for
+            // every stream to drain, then measure one pair at a time with
+            // the waiters *sleeping* (a yield-spinning waiter is still
+            // runnable and steals quanta mid-sample — the wall p99 would
+            // price scheduler preemption, not the primitive).
+            streamed.fetch_add(1, Ordering::AcqRel);
+            while streamed.load(Ordering::Acquire) < PAIRS as usize {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            while turn.load(Ordering::Acquire) != pair {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            for aid in aids {
+                let w0 = Instant::now();
+                ctx.affirm(aid);
+                affirm_wall
+                    .lock()
+                    .unwrap()
+                    .push(w0.elapsed().as_nanos() as u64);
+            }
+            turn.fetch_add(1, Ordering::AcqRel);
+        });
+        env.spawn_user("producer", move |ctx| {
+            let aids: Vec<AidId> = (0..DEPTH).map(|_| ctx.aid_init()).collect();
+            ctx.send(consumer, 1, encode_aids(&aids));
+            let stride = (MESSAGES / u64::from(DEPTH)).max(1);
+            let mut next_guess = 0usize;
+            for i in 0..MESSAGES {
+                if i % stride == 0 && next_guess < aids.len() {
+                    let _ = ctx.guess(aids[next_guess]);
+                    next_guess += 1;
+                }
+                ctx.send(consumer, 0, Bytes::from(i.to_le_bytes().to_vec()));
+            }
+        });
+    }
+    let report = env.run_until_quiescent(Duration::from_millis(25), Duration::from_secs(120));
+    assert!(report.panics.is_empty(), "{:?}", report.panics);
+    assert!(
+        !report.hit_event_limit,
+        "shards({shards}) must go quiescent"
+    );
+    assert!(report.blocked.is_empty(), "{:?}", report.blocked);
+    let done = stream_done.lock().unwrap();
+    assert_eq!(done.len() as u64, PAIRS, "every consumer must finish");
+    let stream_secs = done
+        .iter()
+        .max()
+        .expect("at least one pair")
+        .as_secs_f64()
+        .max(1e-9);
+    drop(done);
+    let affirm_wall_ns = std::mem::take(&mut *affirm_wall.lock().unwrap());
+    ScaleRun {
+        ops_per_sec: (PAIRS * MESSAGES) as f64 / stream_secs,
+        affirm_wall_ns,
+        user_delivered: report.stats.count_kind("User"),
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let shard_counts = [1usize, 2, 4, 8];
+    let mut ops = Vec::new();
+    let mut affirm_at_4 = Vec::new();
+    let mut delivered = Vec::new();
+    for &shards in &shard_counts {
+        let run = run_scale(shards);
+        println!(
+            "scale shards={shards}: {:.0} msgs/s wall, affirm p99 {} ns, {} user msgs",
+            run.ops_per_sec,
+            baseline::percentile(&run.affirm_wall_ns, 99.0),
+            run.user_delivered,
+        );
+        if shards == 4 {
+            affirm_at_4 = run.affirm_wall_ns.clone();
+        }
+        delivered.push(run.user_delivered);
+        ops.push(run.ops_per_sec);
+    }
+    // Outcome is shard-count independent: same messages delivered at
+    // every shard count (the determinism suite checks this bit-exactly;
+    // the bench keeps the cheap invariant on every run).
+    assert!(
+        delivered.iter().all(|&d| d == delivered[0]),
+        "delivered user messages must not depend on the shard count: {delivered:?}"
+    );
+    let speedup_4x = ops[2] / ops[0].max(1e-9);
+    let affirm_p50 = baseline::percentile(&affirm_at_4, 50.0);
+    let affirm_p99 = baseline::percentile(&affirm_at_4, 99.0);
+    println!(
+        "speedup at 4 shards vs 1: {speedup_4x:.2}x on {cores} core(s); \
+         affirm p50/p99 wall {affirm_p50}/{affirm_p99} ns"
+    );
+
+    if std::env::var("HOPE_BENCH_CHECK").as_deref() == Ok("1") {
+        // The wait-free primitive must stay cheap on the real transport.
+        // On a machine with real parallelism the shard threads run on
+        // their own cores and the p99 prices the primitive; on a single
+        // hardware thread every tail sample is the OS preempting the
+        // caller in favour of the very shard thread it just woke, so the
+        // tail prices the scheduler — gate the (robust) median instead.
+        if cores >= 2 {
+            assert!(
+                affirm_p99 < AFFIRM_P99_CEILING_NS,
+                "affirm p99 wall at 4 shards must stay under {AFFIRM_P99_CEILING_NS} ns, got {affirm_p99}"
+            );
+        } else {
+            println!(
+                "single hardware thread: affirm p99 ({affirm_p99} ns) is preemption-bound, \
+                 gating the median instead"
+            );
+            assert!(
+                affirm_p50 < AFFIRM_P99_CEILING_NS,
+                "affirm p50 wall at 4 shards must stay under {AFFIRM_P99_CEILING_NS} ns, got {affirm_p50}"
+            );
+        }
+        // Sharding must never *cost* throughput, even where it cannot
+        // win any (a serialized single-core run hovers around 1.0x with
+        // scheduler noise; a real regression would sit well below it).
+        assert!(
+            speedup_4x >= 0.4,
+            "4 shards must not tank throughput: {speedup_4x:.2}x vs 1 shard"
+        );
+        // And on machines that can actually fan out, scaling must not
+        // regress against the committed baseline from the same class.
+        if cores >= 2 {
+            if let Some(prev) = baseline::load("BENCH_scale.json") {
+                if let Some(old) = prev["speedup_4x"]
+                    .as_str()
+                    .and_then(|s| s.parse::<f64>().ok())
+                {
+                    assert!(
+                        speedup_4x >= old * 0.6,
+                        "4-shard speedup regressed: {speedup_4x:.2}x vs committed {old:.2}x"
+                    );
+                }
+            }
+        }
+    }
+
+    let fresh = Value::Object(vec![
+        (
+            "bench".into(),
+            Value::String("scale (E-scale: sharded transport throughput by shard count)".into()),
+        ),
+        ("seed".into(), Value::String(SEED.to_string())),
+        ("pairs".into(), Value::String(PAIRS.to_string())),
+        (
+            "messages_per_pair".into(),
+            Value::String(MESSAGES.to_string()),
+        ),
+        ("depth".into(), Value::String(DEPTH.to_string())),
+        // Wall-clock context: how parallel the measuring machine was.
+        ("cores".into(), Value::String(cores.to_string())),
+        (
+            "user_messages_total".into(),
+            Value::String(delivered[0].to_string()),
+        ),
+        (
+            "ops_per_sec_wall_shards1".into(),
+            Value::String(format!("{:.0}", ops[0])),
+        ),
+        (
+            "ops_per_sec_wall_shards2".into(),
+            Value::String(format!("{:.0}", ops[1])),
+        ),
+        (
+            "ops_per_sec_wall_shards4".into(),
+            Value::String(format!("{:.0}", ops[2])),
+        ),
+        (
+            "ops_per_sec_wall_shards8".into(),
+            Value::String(format!("{:.0}", ops[3])),
+        ),
+        (
+            "speedup_4x".into(),
+            Value::String(format!("{speedup_4x:.3}")),
+        ),
+        (
+            "affirm_p50_wall_ns_shards4".into(),
+            Value::String(affirm_p50.to_string()),
+        ),
+        (
+            "affirm_p99_wall_ns_shards4".into(),
+            Value::String(affirm_p99.to_string()),
+        ),
+    ]);
+    baseline::finish("BENCH_scale.json", &fresh, &["user_messages_total"], 2.0);
+}

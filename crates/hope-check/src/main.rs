@@ -158,15 +158,30 @@ fn cmd_explore(args: &[String]) -> Result<(), String> {
                 "  livelock cycle found (expected for Algorithm 1); witness decisions: [{}]",
                 fmt_decisions(&witness)
             );
-            Ok(())
         }
-        (false, true) => Err("expected the Algorithm 1 livelock, found none".into()),
-        (true, false) => Err(format!(
-            "unexpected livelock; witness decisions: [{}]",
-            fmt_decisions(&report.cycle_witness.clone().unwrap_or_default())
-        )),
-        (false, false) => Ok(()),
+        (false, true) => return Err("expected the Algorithm 1 livelock, found none".into()),
+        (true, false) => {
+            return Err(format!(
+                "unexpected livelock; witness decisions: [{}]",
+                fmt_decisions(&report.cycle_witness.clone().unwrap_or_default())
+            ))
+        }
+        (false, false) => {}
     }
+    // Pinned state count: CI uses this to assert that a transport or
+    // runtime change did not alter the model-checked state space.
+    if let Some(expect) = flag(args, "--expect-states") {
+        let expect: u64 = expect
+            .parse()
+            .map_err(|_| format!("bad --expect-states: {expect}"))?;
+        if report.branch_states as u64 != expect {
+            return Err(format!(
+                "pinned state count changed: explored {} branch states, pinned {expect}",
+                report.branch_states
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_walk(args: &[String]) -> Result<(), String> {
@@ -199,6 +214,19 @@ fn cmd_walk(args: &[String]) -> Result<(), String> {
             seed,
             fmt_decisions(&cx.decisions)
         ));
+    }
+    // Pinned terminal-state count, the walk-mode analogue of
+    // `--expect-states` (see cmd_explore).
+    if let Some(expect) = flag(args, "--expect-terminals") {
+        let expect: u64 = expect
+            .parse()
+            .map_err(|_| format!("bad --expect-terminals: {expect}"))?;
+        if report.distinct_terminals as u64 != expect {
+            return Err(format!(
+                "pinned terminal count changed: {} distinct terminal states, pinned {expect}",
+                report.distinct_terminals
+            ));
+        }
     }
     Ok(())
 }
@@ -403,7 +431,9 @@ fn main() -> ExitCode {
                  scenarios: ring2 ring3 ring2-alg1 ring3-alg1 chaos2 chaos3 disk2 disk3\n\
                  \x20          storm2-adaptive storm3-adaptive storm2-pessimistic storm3-pessimistic\n\
                  flags: --seed N --decisions 1,0,2 --schedules N --max-states N --max-steps N\n\
-                 \x20      --walk-seed N --no-sleep --demo-oracle --trace out.json (replay only)"
+                 \x20      --walk-seed N --no-sleep --demo-oracle --trace out.json (replay only)\n\
+                 \x20      --expect-states N (explore) --expect-terminals N (walk): fail unless\n\
+                 \x20      the explored state counts equal the pinned values"
             );
             Ok(())
         }

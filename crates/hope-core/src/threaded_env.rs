@@ -29,6 +29,7 @@ pub struct ThreadedHopeEnvBuilder {
     config: HopeConfig,
     faults: Option<FaultPlan>,
     durable: Option<DurableConfig>,
+    shards: Option<usize>,
 }
 
 impl Default for ThreadedHopeEnvBuilder {
@@ -39,6 +40,7 @@ impl Default for ThreadedHopeEnvBuilder {
             config: HopeConfig::new(),
             faults: None,
             durable: None,
+            shards: None,
         }
     }
 }
@@ -76,6 +78,14 @@ impl ThreadedHopeEnvBuilder {
         self
     }
 
+    /// Number of delivery shards for the underlying runtime (DESIGN.md
+    /// §10). Defaults to the machine's available parallelism; outcomes
+    /// are shard-count independent.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = Some(n);
+        self
+    }
+
     /// Speculation-control policy (DESIGN.md §9); see
     /// [`HopeEnvBuilder::spec_policy`](crate::HopeEnvBuilder::spec_policy).
     ///
@@ -106,6 +116,9 @@ impl ThreadedHopeEnvBuilder {
             .seed(self.seed)
             .network(self.network)
             .tracer(metrics.tracer.clone());
+        if let Some(n) = self.shards {
+            builder = builder.shards(n);
+        }
         let storage = self
             .faults
             .as_ref()

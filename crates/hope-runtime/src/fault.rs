@@ -256,6 +256,14 @@ impl FaultPlan {
         self.max_retransmits
     }
 
+    /// The pinned fault-RNG seed, if [`seed`](FaultPlan::seed) was called.
+    /// Runtimes that run several fault models (one per sending lane) use
+    /// this as the base they mix per-lane salts into, so a pinned seed
+    /// stays reproducible without correlating the lanes' decision streams.
+    pub fn pinned_seed(&self) -> Option<u64> {
+        self.seed
+    }
+
     /// Checks the plan for configurations with no sane runtime meaning.
     /// The runtime builders call this and refuse invalid plans; callers
     /// constructing plans from untrusted input can check ahead of time.

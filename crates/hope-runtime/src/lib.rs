@@ -68,6 +68,8 @@ mod net;
 mod reliable;
 mod runtime;
 mod sched;
+mod shard;
+pub mod spsc;
 mod stats;
 mod sysapi;
 mod threaded;

@@ -300,16 +300,24 @@ impl ReliableState {
     /// Mean smoothed RTT across links with at least one sample (0 if
     /// none) — the aggregate surfaced in `LinkStats`.
     pub fn mean_srtt_nanos(&self) -> u64 {
-        let with_samples: Vec<u64> = self
-            .rtt
-            .values()
-            .filter(|e| e.samples() > 0)
-            .map(|e| e.srtt_nanos())
-            .collect();
-        if with_samples.is_empty() {
+        let (sum, links) = self.srtt_totals();
+        if links == 0 {
             return 0;
         }
-        with_samples.iter().sum::<u64>() / with_samples.len() as u64
+        sum / links
+    }
+
+    /// `(sum of per-link SRTTs, number of links with samples)` — the raw
+    /// totals, so a runtime that stripes its reliable state across several
+    /// instances can combine them into one mean without losing the
+    /// per-stripe link counts.
+    pub fn srtt_totals(&self) -> (u64, u64) {
+        self.rtt
+            .values()
+            .filter(|e| e.samples() > 0)
+            .fold((0u64, 0u64), |(sum, n), e| {
+                (sum.saturating_add(e.srtt_nanos()), n + 1)
+            })
     }
 
     /// The still-unacknowledged envelope for `(link, seq)`, if any — what a

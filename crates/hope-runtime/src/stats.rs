@@ -120,6 +120,44 @@ impl LinkStats {
             crate::reliable::CopyKind::Retransmit => self.dedup_retransmits += 1,
         }
     }
+
+    /// Folds another instance's counters into this one. All counters are
+    /// additive except `max_retransmit_attempt` (a max) and `srtt_nanos`
+    /// (a sample-weighted mean approximation — the threaded runtime
+    /// overwrites it from the reliable stripes at report time, which own
+    /// the exact per-link estimators).
+    pub(crate) fn merge(&mut self, other: &LinkStats) {
+        let total_samples = self.rtt_samples + other.rtt_samples;
+        let weighted = self
+            .srtt_nanos
+            .saturating_mul(self.rtt_samples)
+            .saturating_add(other.srtt_nanos.saturating_mul(other.rtt_samples));
+        self.srtt_nanos = match weighted.checked_div(total_samples) {
+            Some(mean) => mean,
+            None => self.srtt_nanos.max(other.srtt_nanos),
+        };
+        self.fault_dropped += other.fault_dropped;
+        self.duplicated += other.duplicated;
+        self.crash_dropped += other.crash_dropped;
+        self.retransmits += other.retransmits;
+        self.abandoned += other.abandoned;
+        self.acks += other.acks;
+        self.dedup_dropped += other.dedup_dropped;
+        self.dedup_dup_faults += other.dedup_dup_faults;
+        self.dedup_retransmits += other.dedup_retransmits;
+        self.dedup_overtaken += other.dedup_overtaken;
+        self.unroutable += other.unroutable;
+        self.rtt_samples += other.rtt_samples;
+        self.max_retransmit_attempt = self
+            .max_retransmit_attempt
+            .max(other.max_retransmit_attempt);
+        self.tag_bytes_full += other.tag_bytes_full;
+        self.tag_bytes_wire += other.tag_bytes_wire;
+        self.tags_full += other.tags_full;
+        self.tags_delta += other.tags_delta;
+        self.tag_resyncs += other.tag_resyncs;
+        self.tag_decode_mismatch += other.tag_decode_mismatch;
+    }
 }
 
 impl fmt::Display for LinkStats {
@@ -230,6 +268,17 @@ impl MessageStats {
     /// Iterates `(kind, from, to, count)` rows in deterministic order.
     pub fn iter(&self) -> impl Iterator<Item = (&'static str, PartyKind, PartyKind, u64)> + '_ {
         self.counts.iter().map(|(&(k, f, t), &c)| (k, f, t, c))
+    }
+
+    /// Folds another instance into this one — how the threaded runtime
+    /// combines its per-lane counters into one report without ever
+    /// sharing a statistics lock on the delivery path.
+    pub(crate) fn merge(&mut self, other: &MessageStats) {
+        for (&key, &count) in &other.counts {
+            *self.counts.entry(key).or_insert(0) += count;
+        }
+        self.dropped += other.dropped;
+        self.link.merge(&other.link);
     }
 }
 

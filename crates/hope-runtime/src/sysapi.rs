@@ -8,6 +8,17 @@ use crate::control::ControlHandler;
 /// A boxed threaded-process body, as accepted by the spawn APIs.
 pub type ProcessBody = Box<dyn FnOnce(&mut dyn SysApi) + Send>;
 
+/// Position of the first queued message matching the channel filter, as
+/// used by every runtime's receive path (`None` filter matches anything).
+pub(crate) fn mailbox_position(
+    mailbox: &std::collections::VecDeque<Received>,
+    channel: Option<u32>,
+) -> Option<usize> {
+    mailbox
+        .iter()
+        .position(|r| channel.is_none_or(|c| r.msg.channel == c))
+}
+
 /// A user message as delivered to a process, with its sender.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Received {

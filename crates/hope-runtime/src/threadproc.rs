@@ -148,10 +148,7 @@ impl ThreadCtx {
 
     fn take_from_mailbox(&mut self, channel: Option<u32>) -> Option<Received> {
         let mut shared = self.shared.lock();
-        let pos = shared
-            .mailbox
-            .iter()
-            .position(|r| channel.is_none_or(|c| r.msg.channel == c))?;
+        let pos = crate::sysapi::mailbox_position(&shared.mailbox, channel)?;
         shared.mailbox.remove(pos)
     }
 

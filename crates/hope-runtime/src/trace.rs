@@ -35,11 +35,15 @@ impl fmt::Display for TraceEvent {
 }
 
 /// A bounded in-memory trace (oldest entries are dropped beyond the cap).
+///
+/// Eviction is amortized O(1): the buffer is allowed to grow to twice the
+/// capacity, then the oldest half is discarded in one batch, instead of
+/// shifting the whole buffer on every record once full.
 #[derive(Debug, Default)]
 pub struct Trace {
     events: Vec<TraceEvent>,
     capacity: usize,
-    dropped: u64,
+    recorded: u64,
 }
 
 impl Trace {
@@ -48,16 +52,16 @@ impl Trace {
         Trace {
             events: Vec::new(),
             capacity,
-            dropped: 0,
+            recorded: 0,
         }
     }
 
     /// Records a delivery.
     pub fn record(&mut self, at: VirtualTime, src: ProcessId, dst: ProcessId, payload: &Payload) {
-        if self.events.len() >= self.capacity {
-            self.events.remove(0);
-            self.dropped += 1;
+        if self.events.len() >= 2 * self.capacity.max(1) {
+            self.events.drain(..self.events.len() - self.capacity);
         }
+        self.recorded += 1;
         let (kind, detail) = match payload {
             Payload::User(m) => (
                 "User",
@@ -80,24 +84,25 @@ impl Trace {
         });
     }
 
-    /// Recorded events, oldest first.
+    /// Recorded events, oldest first (at most `capacity` of them).
     pub fn events(&self) -> &[TraceEvent] {
-        &self.events
+        let visible = self.events.len().min(self.capacity);
+        &self.events[self.events.len() - visible..]
     }
 
     /// Events dropped because the capacity was exceeded.
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.recorded - self.events().len() as u64
     }
 
     /// Renders the trace as a text message-sequence listing, optionally
     /// filtered to HOPE protocol messages only.
     pub fn render(&self, hope_only: bool) -> String {
         let mut out = String::new();
-        if self.dropped > 0 {
-            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped));
+        if self.dropped() > 0 {
+            out.push_str(&format!("… {} earlier events dropped …\n", self.dropped()));
         }
-        for e in &self.events {
+        for e in self.events() {
             if hope_only && e.kind == "User" {
                 continue;
             }
@@ -160,5 +165,25 @@ mod tests {
         assert_eq!(t.dropped(), 3);
         assert_eq!(t.events()[0].src, pid(3), "oldest surviving is #3");
         assert!(t.render(false).contains("earlier events dropped"));
+    }
+
+    #[test]
+    fn eviction_is_batched_but_window_is_exact() {
+        // The buffer may hold up to 2× capacity internally, but the
+        // visible window is always exactly the newest `capacity` events.
+        let mut t = Trace::new(3);
+        for i in 0..1000u64 {
+            t.record(
+                VirtualTime::from_nanos(i),
+                pid(i),
+                pid(0),
+                &Payload::Hope(HopeMessage::Deny { iid: None }),
+            );
+            let events = t.events();
+            assert_eq!(events.len(), 3.min(i as usize + 1));
+            assert_eq!(events.last().unwrap().src, pid(i));
+            assert_eq!(t.dropped() + events.len() as u64, i + 1);
+        }
+        assert_eq!(t.events()[0].src, pid(997));
     }
 }

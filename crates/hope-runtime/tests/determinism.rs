@@ -1,9 +1,17 @@
 //! Seeded determinism at the simulator level: the same seed must produce
 //! the same delivery schedule — with jittered latency, and with the fault
-//! model and reliable sublayer engaged.
+//! model and reliable sublayer engaged. The second half extends the same
+//! claim across the *sharded wall-clock runtime* (DESIGN.md §10): wall
+//! timings vary run to run, but the deterministic outcome fields — what
+//! was delivered, to whom, how often — must be bit-identical whether the
+//! transport runs on one shard, many shards, or the simulator.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use bytes::Bytes;
-use hope_runtime::{FaultPlan, NetworkConfig, SimRuntime, Trace, TraceEvent};
+use hope_runtime::{FaultPlan, NetworkConfig, SimRuntime, ThreadedRuntime, Trace, TraceEvent};
 use hope_types::{Payload, ProcessId, UserMessage, VirtualDuration, VirtualTime};
 
 /// A small token-passing workload: `n` threaded processes forward a
@@ -93,6 +101,190 @@ fn different_fault_seed_different_fault_schedule() {
     let (a, _, _) = ring(7, Some(lossy_plan(1)));
     let (b, _, _) = ring(7, Some(lossy_plan(2)));
     assert_ne!(a, b, "the fault seed must steer which transits fail");
+}
+
+// --- Sharded wall-clock runtime: outcome determinism ------------------
+//
+// A threaded run's *schedule* is wall-clock and therefore not replayable,
+// but for a closed workload its *outcome* is: exactly-once delivery means
+// the set of (hop, receiver) pairs — and hence the checksum below and the
+// Table-1 counts — is a pure function of the topology, independent of the
+// shard count, the interleaving, and even of which wire transits the
+// fault model kills (drops are repaired, duplicates deduplicated).
+
+const N: u64 = 4;
+const HOPS: u8 = 24;
+const CHECK_PRIME: u64 = 1_000_003;
+
+/// The deterministic outcome fields of one run, in a directly comparable
+/// form. Wall-clock-dependent fields (timings, retransmit churn) are
+/// deliberately absent.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Order-independent checksum over every (receiver, hop) delivery.
+    checksum: u64,
+    /// Table-1 counts keyed by (kind, from, to).
+    counts: BTreeMap<(String, String, String), u64>,
+    /// Messages dropped because their destination was gone.
+    dropped: u64,
+    /// Processes still blocked in `receive` at quiescence.
+    blocked: Vec<u64>,
+}
+
+/// What the token ring must deliver: hop values `HOPS..=0`, rotating
+/// around the ring starting at process 0. Computed analytically so the
+/// cross-runtime comparisons cannot agree on a shared wrong answer.
+fn expected_checksum() -> u64 {
+    let mut sum = 0u64;
+    let mut pid = 0u64;
+    for hop in (0..=u64::from(HOPS)).rev() {
+        sum = sum.wrapping_add(pid * CHECK_PRIME + hop);
+        pid = (pid + 1) % N;
+    }
+    sum
+}
+
+/// The `ring` workload on the sharded wall-clock runtime: `N` threaded
+/// processes forward the token, a fifth "kicker" process injects it
+/// (the threaded runtime has no external `inject`).
+fn threaded_outcome(seed: u64, shards: usize, faults: Option<FaultPlan>) -> Outcome {
+    let mut builder = ThreadedRuntime::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::from_micros(100)))
+        .shards(shards);
+    if let Some(plan) = faults {
+        builder = builder.faults(plan);
+    }
+    let rt = builder.build();
+    let checksum = Arc::new(Mutex::new(0u64));
+    for i in 0..N {
+        let sum = checksum.clone();
+        rt.spawn_threaded(&format!("ring-{i}"), None, move |ctx| {
+            while let Some(got) = ctx.receive(None, &mut || false) {
+                let hop = got.msg.data[0];
+                let mut s = sum.lock().unwrap();
+                *s = s.wrapping_add(i * CHECK_PRIME + u64::from(hop));
+                drop(s);
+                if hop == 0 {
+                    return;
+                }
+                let next = ProcessId::from_raw((i + 1) % N);
+                ctx.send(
+                    next,
+                    Payload::User(UserMessage::new(0, Bytes::from(vec![hop - 1]))),
+                );
+            }
+        });
+    }
+    rt.spawn_threaded("kicker", None, move |ctx| {
+        ctx.send(
+            ProcessId::from_raw(0),
+            Payload::User(UserMessage::new(0, Bytes::from(vec![HOPS]))),
+        );
+    });
+    let report = rt.run_until_quiescent(Duration::from_millis(25), Duration::from_secs(30));
+    assert!(report.panics.is_empty(), "{:?}", report.panics);
+    assert!(!report.hit_event_limit, "must reach quiescence");
+    let mut blocked: Vec<u64> = report.blocked.iter().map(|(p, _)| p.as_raw()).collect();
+    blocked.sort_unstable();
+    let checksum = *checksum.lock().unwrap();
+    Outcome {
+        checksum,
+        counts: report
+            .stats
+            .iter()
+            .map(|(k, f, t, c)| ((k.to_string(), format!("{f:?}"), format!("{t:?}")), c))
+            .collect(),
+        dropped: report.stats.dropped(),
+        blocked,
+    }
+}
+
+/// The identical workload on the simulator (same five processes, same
+/// checksum), for the cross-runtime half of the comparison.
+fn sim_outcome(seed: u64) -> Outcome {
+    let mut rt = SimRuntime::builder()
+        .seed(seed)
+        .network(NetworkConfig::constant(VirtualDuration::from_micros(100)))
+        .build();
+    let checksum = Arc::new(Mutex::new(0u64));
+    for i in 0..N {
+        let sum = checksum.clone();
+        rt.spawn_threaded(&format!("ring-{i}"), None, move |ctx| {
+            while let Some(got) = ctx.receive(None, &mut || false) {
+                let hop = got.msg.data[0];
+                let mut s = sum.lock().unwrap();
+                *s = s.wrapping_add(i * CHECK_PRIME + u64::from(hop));
+                drop(s);
+                if hop == 0 {
+                    return;
+                }
+                let next = ProcessId::from_raw((i + 1) % N);
+                ctx.send(
+                    next,
+                    Payload::User(UserMessage::new(0, Bytes::from(vec![hop - 1]))),
+                );
+            }
+        });
+    }
+    rt.spawn_threaded("kicker", None, move |ctx| {
+        ctx.send(
+            ProcessId::from_raw(0),
+            Payload::User(UserMessage::new(0, Bytes::from(vec![HOPS]))),
+        );
+    });
+    let report = rt.run();
+    assert!(report.panics.is_empty(), "{:?}", report.panics);
+    let mut blocked: Vec<u64> = report.blocked.iter().map(|(p, _)| p.as_raw()).collect();
+    blocked.sort_unstable();
+    let checksum = *checksum.lock().unwrap();
+    Outcome {
+        checksum,
+        counts: report
+            .stats
+            .iter()
+            .map(|(k, f, t, c)| ((k.to_string(), format!("{f:?}"), format!("{t:?}")), c))
+            .collect(),
+        dropped: report.stats.dropped(),
+        blocked,
+    }
+}
+
+#[test]
+fn threaded_outcome_is_shard_count_independent() {
+    let one = threaded_outcome(42, 1, None);
+    assert_eq!(
+        one.checksum,
+        expected_checksum(),
+        "one shard: every hop, once"
+    );
+    assert_eq!(one.dropped, 0);
+    let two = threaded_outcome(42, 2, None);
+    let four = threaded_outcome(42, 4, None);
+    assert_eq!(one, two, "shards(1) vs shards(2)");
+    assert_eq!(one, four, "shards(1) vs shards(4)");
+}
+
+#[test]
+fn threaded_outcome_matches_the_simulator() {
+    let sim = sim_outcome(42);
+    let threaded = threaded_outcome(42, 4, None);
+    assert_eq!(sim.checksum, expected_checksum());
+    assert_eq!(
+        sim, threaded,
+        "the sharded wall-clock runtime must commit the simulator's outcome"
+    );
+}
+
+#[test]
+fn faulted_threaded_outcome_is_shard_count_independent() {
+    // Under drops, duplicates and a crash/restart the *schedule* is
+    // wall-clock racy and which transits fail varies with lane layout —
+    // but exactly-once delivery makes the outcome invariant anyway.
+    let one = threaded_outcome(7, 1, Some(lossy_plan(99)));
+    let four = threaded_outcome(7, 4, Some(lossy_plan(99)));
+    assert_eq!(one.checksum, expected_checksum(), "faults must be repaired");
+    assert_eq!(one, four, "fault outcomes must be shard-count independent");
 }
 
 #[test]

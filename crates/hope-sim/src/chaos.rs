@@ -38,6 +38,10 @@ pub struct ChaosConfig {
     pub replicas: u32,
     /// Dependent calls in the chain scenario.
     pub depth: u32,
+    /// Delivery shards for the threaded scenario (DESIGN.md §10);
+    /// `None` uses the machine's available parallelism. Safety outcomes
+    /// must be shard-count independent.
+    pub shards: Option<usize>,
     /// Speculation-control policy for every process in the run
     /// (DESIGN.md §9). The safety outcomes must hold whatever the policy:
     /// throttling changes *when* a process speculates, never what commits.
@@ -54,6 +58,7 @@ impl Default for ChaosConfig {
             crash: true,
             replicas: 4,
             depth: 6,
+            shards: None,
             policy: SpecPolicy::AlwaysOptimistic,
             seed: 0,
         }
@@ -240,11 +245,14 @@ pub fn run_threaded(cfg: ChaosConfig) -> ChaosResult {
             VirtualDuration::from_millis(5),
         );
     }
-    let env = ThreadedHopeEnv::builder()
+    let mut env_builder = ThreadedHopeEnv::builder()
         .seed(cfg.seed)
         .faults(plan)
-        .spec_policy(cfg.policy)
-        .build();
+        .spec_policy(cfg.policy);
+    if let Some(n) = cfg.shards {
+        env_builder = env_builder.shards(n);
+    }
+    let env = env_builder.build();
     let count = Arc::new(Mutex::new(0u32));
     let mut guessers = Vec::new();
     for i in 0..cfg.replicas {
@@ -449,6 +457,27 @@ mod tests {
             ..ChaosConfig::default()
         });
         assert!(threaded.matches_fault_free, "threaded chaos under adaptive");
+    }
+
+    /// DESIGN.md §10: the number of delivery shards is a performance
+    /// knob, never a semantics knob. The faulted threaded scenario must
+    /// commit the fault-free outcome at every shard count — the E-chaos
+    /// soak's shard-count sweep.
+    #[test]
+    fn threaded_chaos_outcome_is_shard_count_independent() {
+        for shards in [1, 2, 4] {
+            let r = run_threaded(ChaosConfig {
+                drop_rate: 0.1,
+                duplicate_rate: 0.1,
+                shards: Some(shards),
+                ..ChaosConfig::default()
+            });
+            assert!(
+                r.matches_fault_free,
+                "shards({shards}) must commit every guess"
+            );
+            assert!(r.finalized > 0, "shards({shards}) must finalize work");
+        }
     }
 
     #[test]
