@@ -1,0 +1,464 @@
+//! E-cluster: a real multi-process TCP cluster on localhost, and the
+//! committed `BENCH_cluster.json` baseline.
+//!
+//! The orchestrator (no args) spawns three child OS processes — one per
+//! cluster node — each running a [`hope_runtime::NetTransport`] over
+//! real loopback TCP. The workload is a ring ledger: node *i* streams
+//! `ENTRIES` sequenced entries to node *(i+1) % 3*, which commits each
+//! entry against a per-origin contiguous-frontier check (a commit out of
+//! order or twice is a **frontier violation**) and echoes it back so the
+//! origin can price the round trip. Two scenarios run:
+//!
+//! * **clean** — no interference; measures cross-process throughput and
+//!   RTT percentiles.
+//! * **partition-heal** — the node 1 ↔ node 2 link runs through the
+//!   `hope-sim::netchaos` proxy; mid-stream the orchestrator partitions
+//!   it (black-holed bytes, refused reconnects), lets sends park, then
+//!   heals. The scenario must converge: every entry committed exactly
+//!   once, in order, zero frontier violations, and the committed totals
+//!   identical to the clean run's.
+//!
+//! Deterministic outcomes (entry totals, violation count, convergence)
+//! are gated under `HOPE_BENCH_CHECK=1`; wall-clock throughput and
+//! latency are recorded for context but never gated.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use hope_bench::baseline;
+use hope_runtime::{BackoffPolicy, HeartbeatPolicy, NetConfig, NetTransport, NodeDirectory};
+use hope_sim::json::Value;
+use hope_sim::netchaos::NetChaos;
+use hope_types::net::NodeId;
+
+const NODES: u16 = 3;
+const ENTRIES: u64 = 300;
+/// Per-entry pacing so the partition window lands mid-stream.
+const PACE: Duration = Duration::from_millis(1);
+const CHILD_DEADLINE: Duration = Duration::from_secs(120);
+
+const KIND_ENTRY: u8 = 0;
+const KIND_ECHO: u8 = 1;
+
+fn encode_msg(kind: u8, origin: u16, seq: u64, t0: u64) -> Bytes {
+    let mut out = Vec::with_capacity(19);
+    out.push(kind);
+    out.extend_from_slice(&origin.to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&t0.to_le_bytes());
+    Bytes::from(out)
+}
+
+fn decode_msg(b: &[u8]) -> Option<(u8, u16, u64, u64)> {
+    if b.len() != 19 {
+        return None;
+    }
+    Some((
+        b[0],
+        u16::from_le_bytes(b[1..3].try_into().ok()?),
+        u64::from_le_bytes(b[3..11].try_into().ok()?),
+        u64::from_le_bytes(b[11..19].try_into().ok()?),
+    ))
+}
+
+/// Transport tuning for localhost benches: millisecond timers so flap
+/// recovery is fast, park buffers sized for a full partition window.
+fn bench_config(node: NodeId, dir: NodeDirectory) -> NetConfig {
+    let mut cfg = NetConfig::new(node, dir);
+    cfg.initial_rto_nanos = 30_000_000;
+    cfg.tick_nanos = 1_000_000;
+    cfg.park_limit = 4096;
+    cfg.backoff = BackoffPolicy {
+        base_nanos: 5_000_000,
+        cap_nanos: 200_000_000,
+        seed: u64::from(node.as_raw()),
+    };
+    cfg.heartbeat = HeartbeatPolicy {
+        interval_nanos: 25_000_000,
+        timeout_nanos: 250_000_000,
+    };
+    cfg
+}
+
+/// One cluster node: stream entries to the successor, commit + echo the
+/// predecessor's entries against the frontier check, and report.
+fn run_node(me: u16, dir: NodeDirectory) {
+    let succ = NodeId::from_raw((me + 1) % NODES);
+    let pred = NodeId::from_raw((me + NODES - 1) % NODES);
+    let node = NodeId::from_raw(me);
+    let epoch = Instant::now();
+    let (tx, rx) = mpsc::channel::<(NodeId, Bytes)>();
+    let transport = bind_with_retry(bench_config(node, dir), tx);
+
+    let deadline = Instant::now() + CHILD_DEADLINE;
+    let mut sent = 0u64;
+    let mut entries_recv = 0u64;
+    let mut echoes_recv = 0u64;
+    let mut violations = 0u64;
+    let mut expect_entry = 0u64; // next-1 from predecessor
+    let mut expect_echo = 0u64; // next-1 of our own entries coming back
+    let mut rtt_ns: Vec<u64> = Vec::with_capacity(ENTRIES as usize);
+    let mut detail: Vec<String> = Vec::new();
+
+    while (sent < ENTRIES || entries_recv < ENTRIES || echoes_recv < ENTRIES)
+        && Instant::now() < deadline
+    {
+        if sent < ENTRIES {
+            let t0 = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            // On error (park buffer full during a long partition) retry
+            // after the pacing sleep; the send path itself never blocks.
+            if transport
+                .send(succ, encode_msg(KIND_ENTRY, me, sent + 1, t0))
+                .is_ok()
+            {
+                sent += 1;
+            }
+            std::thread::sleep(PACE);
+        }
+        while let Ok((from, bytes)) = rx.try_recv() {
+            let Some((kind, origin, seq, t0)) = decode_msg(&bytes) else {
+                violations += 1;
+                continue;
+            };
+            match kind {
+                KIND_ENTRY => {
+                    entries_recv += 1;
+                    // Frontier check: the committed stream from each
+                    // origin must be the contiguous prefix 1..=n.
+                    if origin != pred.as_raw() || seq != expect_entry + 1 {
+                        violations += 1;
+                        if detail.len() < 8 {
+                            detail.push(format!(
+                                "entry from={from} origin={origin} seq={seq} expect={}",
+                                expect_entry + 1
+                            ));
+                        }
+                    } else {
+                        expect_entry = seq;
+                    }
+                    let _ = transport.send(from, encode_msg(KIND_ECHO, origin, seq, t0));
+                }
+                KIND_ECHO => {
+                    echoes_recv += 1;
+                    if origin != me || seq != expect_echo + 1 {
+                        violations += 1;
+                        if detail.len() < 8 {
+                            detail.push(format!(
+                                "echo from={from} origin={origin} seq={seq} expect={}",
+                                expect_echo + 1
+                            ));
+                        }
+                    } else {
+                        expect_echo = seq;
+                    }
+                    let now = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    rtt_ns.push(now.saturating_sub(t0));
+                }
+                _ => violations += 1,
+            }
+        }
+        if sent >= ENTRIES {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+    let elapsed = epoch.elapsed();
+    let leftover = transport.wait_drained(Duration::from_secs(20));
+    let stats = transport.stats();
+    let converged = sent == ENTRIES && entries_recv == ENTRIES && echoes_recv == ENTRIES;
+    for d in &detail {
+        eprintln!("node {me} violation: {d}");
+    }
+    println!(
+        "RESULT node={me} sent={sent} entries={entries_recv} echoes={echoes_recv} \
+         violations={violations} leftover={leftover} elapsed_ns={} rtt_p50={} rtt_p99={} \
+         parked={} reconnects={} link_down={}",
+        elapsed.as_nanos(),
+        baseline::percentile(&rtt_ns, 50.0),
+        baseline::percentile(&rtt_ns, 99.0),
+        stats.parked,
+        stats.reconnects,
+        stats.link_down_events,
+    );
+    std::process::exit(if converged && violations == 0 && leftover == 0 {
+        0
+    } else {
+        2
+    });
+}
+
+/// Binds the node's listener with a few retries: the orchestrator probed
+/// these ports moments ago and the OS occasionally needs a beat to
+/// release them.
+fn bind_with_retry(cfg: NetConfig, tx: mpsc::Sender<(NodeId, Bytes)>) -> NetTransport {
+    for attempt in 0..50 {
+        let tx = tx.clone();
+        match NetTransport::bind(cfg.clone(), move |from, b| {
+            let _ = tx.send((from, b));
+        }) {
+            Ok(t) => return t,
+            Err(e) if attempt == 49 => panic!("bind failed after retries: {e}"),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+    unreachable!()
+}
+
+/// Probes three free localhost ports. The listeners are dropped before
+/// the children bind; children retry to absorb the hand-off race.
+fn probe_addrs() -> Vec<SocketAddr> {
+    (0..NODES)
+        .map(|_| {
+            TcpListener::bind("127.0.0.1:0")
+                .expect("probe port")
+                .local_addr()
+                .expect("probe addr")
+        })
+        .collect()
+}
+
+fn dir_string(addrs: &[(u16, SocketAddr)]) -> String {
+    addrs
+        .iter()
+        .map(|(id, a)| format!("{id}={a}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_dir(s: &str) -> NodeDirectory {
+    let mut dir = NodeDirectory::new();
+    for part in s.split(',') {
+        let (id, addr) = part.split_once('=').expect("id=addr");
+        dir = dir.with_node(
+            NodeId::from_raw(id.parse().expect("node id")),
+            addr.parse().expect("socket addr"),
+        );
+    }
+    dir
+}
+
+#[derive(Debug, Default, Clone)]
+struct NodeResult {
+    entries: u64,
+    echoes: u64,
+    violations: u64,
+    elapsed_ns: u64,
+    rtt_p50: u64,
+    rtt_p99: u64,
+    parked: u64,
+    reconnects: u64,
+}
+
+fn parse_result(line: &str) -> Option<NodeResult> {
+    let mut r = NodeResult::default();
+    for field in line.strip_prefix("RESULT ")?.split_whitespace() {
+        let (k, v) = field.split_once('=')?;
+        let v: u64 = v.parse().ok()?;
+        match k {
+            "entries" => r.entries = v,
+            "echoes" => r.echoes = v,
+            "violations" => r.violations = v,
+            "elapsed_ns" => r.elapsed_ns = v,
+            "rtt_p50" => r.rtt_p50 = v,
+            "rtt_p99" => r.rtt_p99 = v,
+            "parked" => r.parked = v,
+            "reconnects" => r.reconnects = v,
+            _ => {}
+        }
+    }
+    Some(r)
+}
+
+struct Scenario {
+    results: Vec<NodeResult>,
+    wall: Duration,
+}
+
+/// Spawns the three node processes (node 1's link to node 2 optionally
+/// proxied), drives the chaos schedule, and collects their reports.
+fn run_scenario(partition: bool) -> Scenario {
+    let addrs = probe_addrs();
+    let real: Vec<(u16, SocketAddr)> = (0..NODES).map(|i| (i, addrs[i as usize])).collect();
+    let proxy = if partition {
+        Some(NetChaos::spawn(addrs[2]).expect("spawn proxy"))
+    } else {
+        None
+    };
+    let exe = std::env::current_exe().expect("current exe");
+    let start = Instant::now();
+    let mut children = Vec::new();
+    for i in 0..NODES {
+        // Node 1 dials node 2 through the proxy in the partition run.
+        let mut view = real.clone();
+        if i == 1 {
+            if let Some(p) = proxy.as_ref() {
+                view[2] = (2, p.frontend());
+            }
+        }
+        let child = Command::new(&exe)
+            .args(["--node", &i.to_string(), "--dir", &dir_string(&view)])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn node process");
+        children.push(child);
+    }
+
+    if let Some(p) = proxy.as_ref() {
+        // Let the stream establish, then cut the 1↔2 link mid-flight
+        // long enough for heartbeats to declare it down, then heal.
+        std::thread::sleep(Duration::from_millis(150));
+        p.partition();
+        p.kill_all();
+        std::thread::sleep(Duration::from_millis(400));
+        p.heal();
+    }
+
+    let deadline = Instant::now() + CHILD_DEADLINE + Duration::from_secs(30);
+    let mut results = Vec::new();
+    for (i, mut child) in children.into_iter().enumerate() {
+        loop {
+            match child.try_wait().expect("child wait") {
+                Some(status) => {
+                    let mut out = String::new();
+                    child
+                        .stdout
+                        .take()
+                        .expect("piped stdout")
+                        .read_to_string(&mut out)
+                        .expect("read child stdout");
+                    print!("{out}");
+                    let line = out.lines().find(|l| l.starts_with("RESULT "));
+                    assert!(status.success(), "node {i} failed ({status}): {out}");
+                    results.push(parse_result(line.expect("RESULT line")).expect("parse result"));
+                    break;
+                }
+                None => {
+                    assert!(Instant::now() < deadline, "node {i} did not finish in time");
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        }
+    }
+    Scenario {
+        results,
+        wall: start.elapsed(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() >= 5 && args[1] == "--node" {
+        let me: u16 = args[2].parse().expect("node id");
+        assert_eq!(args[3], "--dir");
+        run_node(me, parse_dir(&args[4]));
+        return;
+    }
+
+    println!("cluster: {NODES} node processes x {ENTRIES} entries over loopback TCP");
+    let clean = run_scenario(false);
+    let clean_entries: u64 = clean.results.iter().map(|r| r.entries).sum();
+    let clean_violations: u64 = clean.results.iter().map(|r| r.violations).sum();
+    let rtt_p50 = clean.results.iter().map(|r| r.rtt_p50).max().unwrap_or(0);
+    let rtt_p99 = clean.results.iter().map(|r| r.rtt_p99).max().unwrap_or(0);
+    let slowest_ns = clean
+        .results
+        .iter()
+        .map(|r| r.elapsed_ns)
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    // One-way entries plus echoes, against the slowest node's clock.
+    let throughput = (2 * clean_entries) as f64 / (slowest_ns as f64 / 1e9);
+    println!(
+        "clean: {clean_entries} entries committed, {clean_violations} violations, \
+         {throughput:.0} msgs/s cross-process, rtt p50/p99 {rtt_p50}/{rtt_p99} ns"
+    );
+
+    let healed = run_scenario(true);
+    let healed_entries: u64 = healed.results.iter().map(|r| r.entries).sum();
+    let healed_violations: u64 = healed.results.iter().map(|r| r.violations).sum();
+    let reconnects: u64 = healed.results.iter().map(|r| r.reconnects).sum();
+    let parked: u64 = healed.results.iter().map(|r| r.parked).sum();
+    println!(
+        "partition-heal: {healed_entries} entries committed, {healed_violations} violations, \
+         {reconnects} reconnects, {parked} parked sends, wall {:.2}s",
+        healed.wall.as_secs_f64()
+    );
+
+    // Safety: zero frontier violations in both scenarios, and the healed
+    // run converges to totals identical to the fault-free run.
+    assert_eq!(clean_violations, 0, "clean run must have no violations");
+    assert_eq!(healed_violations, 0, "healed run must have no violations");
+    assert_eq!(
+        clean_entries,
+        u64::from(NODES) * ENTRIES,
+        "clean run commits every entry"
+    );
+    assert_eq!(
+        healed_entries, clean_entries,
+        "partition-heal must converge to fault-free-identical totals"
+    );
+    assert!(
+        reconnects >= 1,
+        "the partition must actually sever and re-establish a link"
+    );
+
+    let fresh = Value::Object(vec![
+        (
+            "bench".into(),
+            Value::String("cluster (E-cluster: multi-process TCP ring with partition-heal)".into()),
+        ),
+        ("nodes".into(), Value::String(NODES.to_string())),
+        (
+            "entries_per_node".into(),
+            Value::String(ENTRIES.to_string()),
+        ),
+        (
+            "entries_total".into(),
+            Value::String(clean_entries.to_string()),
+        ),
+        (
+            "frontier_violations".into(),
+            Value::String((clean_violations + healed_violations).to_string()),
+        ),
+        (
+            "healed_entries_total".into(),
+            Value::String(healed_entries.to_string()),
+        ),
+        ("converged".into(), Value::String("true".into())),
+        // Wall-clock context, never gated.
+        (
+            "throughput_msgs_per_sec_wall".into(),
+            Value::String(format!("{throughput:.0}")),
+        ),
+        ("rtt_p50_wall_ns".into(), Value::String(rtt_p50.to_string())),
+        ("rtt_p99_wall_ns".into(), Value::String(rtt_p99.to_string())),
+        (
+            "heal_reconnects".into(),
+            Value::String(reconnects.to_string()),
+        ),
+        (
+            "heal_parked_sends".into(),
+            Value::String(parked.to_string()),
+        ),
+        (
+            "heal_wall_s".into(),
+            Value::String(format!("{:.2}", healed.wall.as_secs_f64())),
+        ),
+    ]);
+    baseline::finish(
+        "BENCH_cluster.json",
+        &fresh,
+        &[
+            "entries_total",
+            "frontier_violations",
+            "healed_entries_total",
+            "converged",
+        ],
+        2.0,
+    );
+}

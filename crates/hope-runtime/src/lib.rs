@@ -79,8 +79,14 @@ mod trace;
 pub use actor::{Actor, ActorApi, NullActor};
 pub use control::{ControlApi, ControlHandler, NullControl};
 pub use fault::{CrashPoint, FaultModel, FaultPlan, StorageFaultPlan, WireFate};
-pub use net::{LatencyModel, NetworkConfig};
-pub use reliable::{AckOutcome, CopyKind, LinkId, ReliableState, RttEstimator, TagDecode};
+pub use net::{
+    BackoffPolicy, HeartbeatPolicy, LatencyModel, NetConfig, NetTransport, NetworkConfig,
+    NodeDirectory,
+};
+pub use reliable::{
+    AckOutcome, CopyKind, LinkId, ReliableState, RttEstimator, TagDecode, WALL_RTO_MAX_NANOS,
+    WALL_RTO_MIN_NANOS,
+};
 pub use runtime::{ProcessStatus, RuntimeBuilder, SimRuntime};
 pub use sched::{EventDesc, PendingEvent, SchedulePolicy};
 pub use stats::{LinkStats, MessageStats, PartyKind, RunReport};

@@ -110,18 +110,44 @@ pub struct RttEstimator {
     samples: u64,
 }
 
+/// Minimum RTO for wall-clock (real-socket) transports: 1 ms. The
+/// virtual-clock derivation `initial/8` can reach microseconds, which on
+/// a real network turns every scheduling hiccup into a spurious
+/// retransmit storm.
+pub const WALL_RTO_MIN_NANOS: u64 = 1_000_000;
+
+/// Maximum RTO for wall-clock transports: 2 s. Caps how long a stalled
+/// link waits between retries so reconnect recovery is bounded, while
+/// staying far above any sane localhost or LAN round trip.
+pub const WALL_RTO_MAX_NANOS: u64 = 2_000_000_000;
+
 impl RttEstimator {
     /// An estimator starting at `initial_rto_nanos` with no samples.
     pub fn new(initial_rto_nanos: u64) -> Self {
         let initial = initial_rto_nanos.max(1);
+        RttEstimator::with_bounds(initial, (initial / 8).max(1), initial.saturating_mul(64))
+    }
+
+    /// An estimator whose RTO is clamped to `[min, max]` regardless of
+    /// what samples arrive. `initial` is itself clamped into the band;
+    /// a degenerate band (`min > max`) collapses to `min`.
+    pub fn with_bounds(initial_rto_nanos: u64, min_nanos: u64, max_nanos: u64) -> Self {
+        let min = min_nanos.max(1);
+        let max = max_nanos.max(min);
         RttEstimator {
             srtt: 0,
             rttvar: 0,
-            rto: initial,
-            min: (initial / 8).max(1),
-            max: initial.saturating_mul(64),
+            rto: initial_rto_nanos.clamp(min, max),
+            min,
+            max,
             samples: 0,
         }
+    }
+
+    /// An estimator tuned for real-millisecond RTTs: RTO clamped to
+    /// [`WALL_RTO_MIN_NANOS`, `WALL_RTO_MAX_NANOS`].
+    pub fn for_wall_clock(initial_rto_nanos: u64) -> Self {
+        RttEstimator::with_bounds(initial_rto_nanos, WALL_RTO_MIN_NANOS, WALL_RTO_MAX_NANOS)
     }
 
     /// Folds one round-trip sample in (Jacobson/Karels update rules).
@@ -131,11 +157,17 @@ impl RttEstimator {
             self.rttvar = sample_nanos / 2;
         } else {
             let err = self.srtt.abs_diff(sample_nanos);
-            self.rttvar = (3 * self.rttvar + err) / 4;
-            self.srtt = (7 * self.srtt + sample_nanos) / 8;
+            // Saturating gain updates: a pathological wall-clock sample
+            // (e.g. u64::MAX from a non-monotonic clock) must pin the
+            // estimate, not overflow the arithmetic.
+            self.rttvar = self.rttvar.saturating_mul(3).saturating_add(err) / 4;
+            self.srtt = self.srtt.saturating_mul(7).saturating_add(sample_nanos) / 8;
         }
         self.samples += 1;
-        self.rto = (self.srtt.saturating_add(4 * self.rttvar)).clamp(self.min, self.max);
+        self.rto = self
+            .srtt
+            .saturating_add(self.rttvar.saturating_mul(4))
+            .clamp(self.min, self.max);
     }
 
     /// The current retransmission timeout in nanoseconds.
@@ -187,6 +219,10 @@ pub struct ReliableState {
     /// the first delivered copy consumes it.
     tag_in_transit: BTreeMap<(LinkId, u64), SetCoding>,
     initial_rto: u64,
+    /// Explicit `[min, max]` RTO clamp for new per-link estimators; when
+    /// absent, estimators use the virtual-clock derivation
+    /// (`[initial/8, initial·64]`).
+    rto_bounds: Option<(u64, u64)>,
 }
 
 impl Default for ReliableState {
@@ -215,7 +251,19 @@ impl ReliableState {
             tag_dec: BTreeMap::new(),
             tag_in_transit: BTreeMap::new(),
             initial_rto: initial_rto_nanos.max(1),
+            rto_bounds: None,
         }
+    }
+
+    /// Fresh state whose per-link estimators clamp their RTO to
+    /// `[min_nanos, max_nanos]` — the band real-socket transports need
+    /// (see [`WALL_RTO_MIN_NANOS`] / [`WALL_RTO_MAX_NANOS`]), where the
+    /// virtual-clock derivation would allow microsecond timers.
+    pub fn with_rto_bounds(initial_rto_nanos: u64, min_nanos: u64, max_nanos: u64) -> Self {
+        let mut state = ReliableState::with_rto(initial_rto_nanos);
+        let min = min_nanos.max(1);
+        state.rto_bounds = Some((min, max_nanos.max(min)));
+        state
     }
 
     /// Allocates the next sequence number for `link` (1-based; 0 is the
@@ -264,9 +312,13 @@ impl ReliableState {
             (!was_retransmitted).then(|| now_nanos.saturating_sub(envelope.sent_at.as_nanos()));
         if let Some(s) = sample {
             let initial = self.initial_rto;
+            let bounds = self.rto_bounds;
             self.rtt
                 .entry(link)
-                .or_insert_with(|| RttEstimator::new(initial))
+                .or_insert_with(|| match bounds {
+                    Some((min, max)) => RttEstimator::with_bounds(initial, min, max),
+                    None => RttEstimator::new(initial),
+                })
                 .observe(s);
         }
         AckOutcome {
@@ -284,9 +336,11 @@ impl ReliableState {
     /// The adaptive retransmission timeout for `link` in nanoseconds:
     /// the link's estimator if it has seen samples, else the initial RTO.
     pub fn rto_for(&self, link: LinkId) -> u64 {
-        self.rtt
-            .get(&link)
-            .map_or(self.initial_rto, |e| e.rto_nanos())
+        let fallback = match self.rto_bounds {
+            Some((min, max)) => self.initial_rto.clamp(min, max),
+            None => self.initial_rto,
+        };
+        self.rtt.get(&link).map_or(fallback, |e| e.rto_nanos())
     }
 
     /// The smoothed RTT for `link`, if the estimator has samples.
@@ -539,6 +593,62 @@ mod tests {
             e.observe(u64::MAX / 8);
         }
         assert_eq!(e.rto_nanos(), 8_000 * 64, "clamped at initial*64");
+    }
+
+    #[test]
+    fn bounded_estimator_survives_pathological_samples() {
+        // Zero samples (a wall clock that didn't advance between send
+        // and ack) must not drive the RTO below the wall floor.
+        let mut e = RttEstimator::for_wall_clock(100_000_000);
+        for _ in 0..50 {
+            e.observe(0);
+        }
+        assert_eq!(e.rto_nanos(), WALL_RTO_MIN_NANOS, "floored at wall min");
+
+        // Huge samples (clock slew, suspend/resume) must saturate, not
+        // overflow, and the RTO stays capped at the wall ceiling.
+        let mut e = RttEstimator::for_wall_clock(100_000_000);
+        e.observe(u64::MAX);
+        e.observe(u64::MAX);
+        assert_eq!(e.rto_nanos(), WALL_RTO_MAX_NANOS, "capped at wall max");
+
+        // Non-monotonic wall clocks alternate tiny and huge samples; the
+        // estimator must stay inside the band throughout.
+        let mut e = RttEstimator::for_wall_clock(100_000_000);
+        for i in 0..100u64 {
+            e.observe(if i % 2 == 0 { 0 } else { u64::MAX / 2 });
+            let rto = e.rto_nanos();
+            assert!(
+                (WALL_RTO_MIN_NANOS..=WALL_RTO_MAX_NANOS).contains(&rto),
+                "rto {rto} escaped the wall band at sample {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn with_bounds_clamps_initial_and_degenerate_bands() {
+        let e = RttEstimator::with_bounds(1, 5_000, 10_000);
+        assert_eq!(e.rto_nanos(), 5_000, "initial clamped up into band");
+        let e = RttEstimator::with_bounds(1_000_000, 5_000, 10_000);
+        assert_eq!(e.rto_nanos(), 10_000, "initial clamped down into band");
+        let e = RttEstimator::with_bounds(7, 10_000, 2 /* min > max */);
+        assert_eq!(e.rto_nanos(), 10_000, "degenerate band collapses to min");
+    }
+
+    #[test]
+    fn state_with_rto_bounds_applies_band_to_new_links() {
+        let mut st = ReliableState::with_rto_bounds(5_000_000, 1_000_000, 2_000_000_000);
+        let link = (p(1), p(2));
+        assert_eq!(st.rto_for(link), 5_000_000, "initial inside band");
+        st.track(env(1, 2, 1));
+        // An instant (0 ns) ack would push an unbounded estimator's RTO
+        // toward zero; the band holds it at the floor.
+        st.acknowledge_at(link, 1, 0);
+        for seq in 2..=20 {
+            st.track(env(1, 2, seq));
+            st.acknowledge_at(link, seq, 0);
+        }
+        assert_eq!(st.rto_for(link), 1_000_000, "held at the wall floor");
     }
 
     #[test]

@@ -91,6 +91,22 @@ pub struct LinkStats {
     /// link codec is forced back to `Full`; any nonzero value is a codec
     /// bug worth investigating.
     pub tag_decode_mismatch: u64,
+    /// Sends accepted while the peer link was down, parked in the bounded
+    /// retransmit buffer awaiting reconnect (backpressure signal: parked
+    /// traffic is latency the application will see at heal time).
+    pub parked: u64,
+    /// Successful reconnects completed by the per-peer link supervisors.
+    pub reconnects: u64,
+    /// Link-down transitions: missed-heartbeat timeouts, connection
+    /// resets, or failed dials that opened (or extended) an outage.
+    pub link_down_events: u64,
+    /// Sends rejected with `HopeError::NodeUnreachable`: the node id was
+    /// not in the directory, or the park buffer was full while the link
+    /// was down.
+    pub node_unreachable: u64,
+    /// Handshakes a peer rejected (version mismatch, unknown node id, id
+    /// collision) — each surfaced as `HopeError::HandshakeRejected`.
+    pub handshake_rejected: u64,
 }
 
 impl LinkStats {
@@ -157,6 +173,11 @@ impl LinkStats {
         self.tags_delta += other.tags_delta;
         self.tag_resyncs += other.tag_resyncs;
         self.tag_decode_mismatch += other.tag_decode_mismatch;
+        self.parked += other.parked;
+        self.reconnects += other.reconnects;
+        self.link_down_events += other.link_down_events;
+        self.node_unreachable += other.node_unreachable;
+        self.handshake_rejected += other.handshake_rejected;
     }
 }
 
@@ -168,7 +189,9 @@ impl fmt::Display for LinkStats {
              abandoned={} acks={} dedup_dropped={} (dup_faults={} \
              retransmit_races={} overtaken={}) unroutable={} \
              rtt_samples={} srtt_nanos={} max_attempt={} \
-             tag_bytes={}/{} (full={} delta={} resyncs={} decode_mismatch={})",
+             tag_bytes={}/{} (full={} delta={} resyncs={} decode_mismatch={}) \
+             net(parked={} reconnects={} link_down={} unreachable={} \
+             handshake_rejected={})",
             self.fault_dropped,
             self.duplicated,
             self.crash_dropped,
@@ -188,7 +211,12 @@ impl fmt::Display for LinkStats {
             self.tags_full,
             self.tags_delta,
             self.tag_resyncs,
-            self.tag_decode_mismatch
+            self.tag_decode_mismatch,
+            self.parked,
+            self.reconnects,
+            self.link_down_events,
+            self.node_unreachable,
+            self.handshake_rejected
         )
     }
 }
@@ -384,6 +412,38 @@ mod tests {
         assert_eq!(s.link().retransmits, 2);
         // Table 1 accounting is unaffected by link-layer traffic.
         assert_eq!(s.total(), 0);
+    }
+
+    #[test]
+    fn net_counters_merge_additively_and_render() {
+        let mut a = LinkStats {
+            parked: 3,
+            reconnects: 1,
+            link_down_events: 2,
+            node_unreachable: 4,
+            handshake_rejected: 1,
+            ..LinkStats::default()
+        };
+        let b = LinkStats {
+            parked: 5,
+            reconnects: 2,
+            link_down_events: 1,
+            node_unreachable: 0,
+            handshake_rejected: 2,
+            ..LinkStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.parked, 8);
+        assert_eq!(a.reconnects, 3);
+        assert_eq!(a.link_down_events, 3);
+        assert_eq!(a.node_unreachable, 4);
+        assert_eq!(a.handshake_rejected, 3);
+        let text = a.to_string();
+        assert!(text.contains("parked=8"));
+        assert!(text.contains("reconnects=3"));
+        assert!(text.contains("link_down=3"));
+        assert!(text.contains("unreachable=4"));
+        assert!(text.contains("handshake_rejected=3"));
     }
 
     #[test]

@@ -195,6 +195,15 @@ enum Slot {
         control: Mutex<Option<Box<dyn ControlHandler>>>,
         join: Mutex<Option<std::thread::JoinHandle<()>>>,
     },
+    /// An egress seam to another runtime: deliveries addressed to this
+    /// pid are handed to the sink (e.g. a [`crate::NetTransport`] link to
+    /// a remote node) instead of a local process. The inverse direction
+    /// is [`ThreadedRuntime::inject`].
+    Gateway {
+        #[allow(dead_code)] // kept for diagnostics/debugging
+        name: String,
+        sink: Box<dyn Fn(Envelope) + Send + Sync>,
+    },
 }
 
 /// The cross-thread face of one delivery shard: where lanes register
@@ -631,6 +640,9 @@ impl Inner {
                 }
                 Payload::Ack { .. } => unreachable!("acks are consumed above"),
             },
+            Slot::Gateway { sink, .. } => {
+                sink(envelope);
+            }
         }
     }
 
@@ -1328,6 +1340,40 @@ impl ThreadedRuntime {
         Self::register_actor(&self.inner, name, actor)
     }
 
+    /// Registers an egress gateway: a local pid whose deliveries are
+    /// handed to `sink` instead of a process — the seam a network
+    /// transport plugs into to represent a remote peer. Sends to the
+    /// returned pid traverse the full local fabric (lanes, shards,
+    /// latency/fault models, reliable sublayer) before reaching the sink.
+    pub fn register_gateway(
+        &self,
+        name: &str,
+        sink: impl Fn(Envelope) + Send + Sync + 'static,
+    ) -> ProcessId {
+        let slot = Arc::new(Slot::Gateway {
+            name: name.to_string(),
+            sink: Box::new(sink),
+        });
+        self.inner.procs.update(move |procs| {
+            let pid = ProcessId::from_raw(procs.len() as u64);
+            procs.push(slot);
+            pid
+        })
+    }
+
+    /// Injects an externally-originated envelope (e.g. one received from
+    /// a remote node by a [`crate::NetTransport`]) into the local fabric
+    /// for delivery to `envelope.dst`. The transport below already
+    /// guarantees exactly-once in-order arrival, so the envelope enters
+    /// with the reliable sublayer disabled (`seq` forced to 0) and is
+    /// delivered like any local original.
+    pub fn inject(&self, envelope: Envelope) {
+        let mut envelope = envelope;
+        envelope.seq = 0;
+        self.inner
+            .schedule_external(Instant::now(), Work::Deliver(envelope, CopyKind::Original));
+    }
+
     /// Spawns a threaded user process; its body starts running at once.
     pub fn spawn_threaded<F>(
         &self,
@@ -1352,7 +1398,7 @@ impl ThreadedRuntime {
             let in_flight = self.inner.in_flight.load(Ordering::Acquire);
             let procs = self.inner.procs.snapshot();
             let all_idle = procs.iter().all(|slot| match slot.as_ref() {
-                Slot::Gone | Slot::Actor { .. } => true,
+                Slot::Gone | Slot::Actor { .. } | Slot::Gateway { .. } => true,
                 Slot::Threaded { shared, .. } => {
                     shared.idle.load(Ordering::Acquire) || shared.done.load(Ordering::Acquire)
                 }

@@ -19,6 +19,7 @@
 //! | [`chaos`]      | E-chaos | fault injection: safety invariants under drop/dup/crash |
 //! | [`contention`] | E-adaptive | adaptive speculation control under configurable deny rates |
 //! | [`disk_chaos`] | E-disk  | durable op-log recovery under crashes with storage faults |
+//! | [`netchaos`]   | E-net   | socket-level chaos proxy: partitions, resets, mid-frame cuts against the real TCP transport |
 //! | [`scenarios`]  | E-check | zero-latency scenario builders for the `hope-check` model checker |
 
 #![forbid(unsafe_code)]
@@ -29,6 +30,7 @@ pub mod chaos;
 pub mod contention;
 pub mod disk_chaos;
 pub mod json;
+pub mod netchaos;
 pub mod printer;
 pub mod protocol;
 pub mod quadratic;

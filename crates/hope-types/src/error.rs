@@ -58,6 +58,19 @@ pub enum HopeError {
     /// least as wide as the threshold (which could never re-enable
     /// optimism). Mirrors the `FaultPlan` validation precedent.
     InvalidSpecPolicy(String),
+    /// A send named a node the transport cannot reach: the node id is not
+    /// in the directory, or the peer link is down *and* its bounded park
+    /// buffer is full (backpressure). Never a panic, never a silent drop
+    /// — the caller decides whether to retry, shed, or surface.
+    NodeUnreachable(crate::net::NodeId),
+    /// A peer refused the connection handshake (version mismatch, unknown
+    /// node id, id collision). Carries the acceptor-side verdict verbatim.
+    HandshakeRejected {
+        /// The peer that rejected us.
+        node: crate::net::NodeId,
+        /// The typed rejection it sent.
+        reason: crate::net::HelloReject,
+    },
 }
 
 impl fmt::Display for HopeError {
@@ -89,6 +102,15 @@ impl fmt::Display for HopeError {
             HopeError::InvalidFaultPlan(msg) => write!(f, "invalid fault plan: {msg}"),
             HopeError::InvalidSpecPolicy(msg) => {
                 write!(f, "invalid speculation policy: {msg}")
+            }
+            HopeError::NodeUnreachable(node) => {
+                write!(
+                    f,
+                    "node {node} is unreachable (unknown or link down with full buffer)"
+                )
+            }
+            HopeError::HandshakeRejected { node, reason } => {
+                write!(f, "handshake rejected by node {node}: {reason}")
             }
         }
     }
@@ -129,6 +151,25 @@ mod tests {
         let s = e.to_string();
         assert!(s.contains("invalid speculation policy"));
         assert!(s.contains("max_depth"));
+    }
+
+    #[test]
+    fn node_unreachable_names_the_node() {
+        let e = HopeError::NodeUnreachable(crate::net::NodeId::from_raw(7));
+        let s = e.to_string();
+        assert!(s.contains("N7"));
+        assert!(s.contains("unreachable"));
+    }
+
+    #[test]
+    fn handshake_rejected_carries_the_verdict() {
+        let e = HopeError::HandshakeRejected {
+            node: crate::net::NodeId::from_raw(2),
+            reason: crate::net::HelloReject::VersionMismatch { ours: 1, theirs: 9 },
+        };
+        let s = e.to_string();
+        assert!(s.contains("N2"));
+        assert!(s.contains("version"));
     }
 
     #[test]

@@ -37,6 +37,7 @@ mod delta;
 mod error;
 mod ids;
 mod message;
+pub mod net;
 mod sets;
 pub mod spec;
 mod time;
@@ -46,6 +47,9 @@ pub use delta::{full_set_wire_len, SetCoding, TagDecoder, TagEncoder, DEFAULT_CO
 pub use error::HopeError;
 pub use ids::{AidId, IntervalId, ProcessId};
 pub use message::{definite_interval, DepTag, Envelope, HopeMessage, Payload, UserMessage};
+pub use net::{
+    Frame, FrameError, FrameKind, FrameReader, HelloReject, NodeHello, NodeId, PROTOCOL_VERSION,
+};
 pub use sets::{IdSet, IdoSet, IntervalSet};
 pub use spec::{SpecController, SpecObservation, SpecPolicy, SpecSnapshot, SpecStats};
 pub use time::{VirtualDuration, VirtualTime};

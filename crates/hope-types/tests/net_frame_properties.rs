@@ -1,0 +1,122 @@
+//! Property tests of the stream-frame codec: arbitrary frames must
+//! round-trip through `Frame::encode` / `FrameReader` no matter how the
+//! byte stream is split at read boundaries, single-byte damage anywhere
+//! in a frame must be rejected (never silently decoded as a different
+//! valid frame), and the handshake payload codecs must round-trip and
+//! reject wrong-length input.
+
+use bytes::Bytes;
+use hope_types::net::{Frame, FrameKind, FrameReader, HelloReject, NodeHello, NodeId};
+use proptest::prelude::*;
+
+fn kind(pick: u8) -> FrameKind {
+    match pick % 7 {
+        0 => FrameKind::Hello,
+        1 => FrameKind::HelloOk,
+        2 => FrameKind::HelloReject,
+        3 => FrameKind::Data,
+        4 => FrameKind::Ack,
+        5 => FrameKind::Ping,
+        _ => FrameKind::Pong,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A sequence of frames, concatenated and fed to the reader in
+    /// arbitrary chunk sizes (including 1-byte reads), decodes back to
+    /// exactly the same frames in order.
+    #[test]
+    fn frames_round_trip_under_arbitrary_splits(
+        frames in proptest::collection::vec((any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200)), 1..8),
+        splits in proptest::collection::vec(1usize..64, 1..32),
+    ) {
+        let frames: Vec<Frame> = frames
+            .into_iter()
+            .map(|(k, payload)| Frame::new(kind(k), Bytes::from(payload)))
+            .collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&f.encode());
+        }
+
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut split_ix = 0;
+        while offset < stream.len() {
+            let chunk = splits[split_ix % splits.len()].min(stream.len() - offset);
+            split_ix += 1;
+            reader.feed(&stream[offset..offset + chunk]);
+            offset += chunk;
+            while let Some(frame) = reader.next_frame().expect("clean stream must parse") {
+                decoded.push(frame);
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(reader.pending_len(), 0);
+    }
+
+    /// Flipping any single byte of an encoded frame never yields a
+    /// decode of a *different* valid frame: the reader either errors
+    /// (bad magic / CRC / kind / oversize) or, if the flip only grew the
+    /// declared length, stalls waiting for bytes that never arrive.
+    #[test]
+    fn single_byte_damage_never_decodes_differently(
+        k in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        pos_pick in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let frame = Frame::new(kind(k), Bytes::from(payload));
+        let mut bytes = frame.encode().to_vec();
+        let pos = pos_pick % bytes.len();
+        bytes[pos] ^= flip;
+
+        let mut reader = FrameReader::new();
+        reader.feed(&bytes);
+        match reader.next_frame() {
+            Err(_) => {}                 // typed rejection: the common case
+            Ok(None) => {}               // length grew: reader waits, never lies
+            Ok(Some(decoded)) => {
+                // The only acceptable "success" is decoding the original
+                // frame exactly (impossible here since one byte differs
+                // and CRC covers kind+payload, but keep the assertion so
+                // a codec regression fails loudly rather than silently).
+                prop_assert_eq!(decoded, frame);
+            }
+        }
+    }
+
+    /// `NodeHello` round-trips for arbitrary field values and its
+    /// decoder rejects truncated and padded buffers.
+    #[test]
+    fn hello_round_trips_and_rejects_bad_lengths(
+        node in any::<u16>(),
+        version in any::<u16>(),
+        features in any::<u32>(),
+        extra in 1usize..8,
+    ) {
+        let hello = NodeHello { node: NodeId::from_raw(node), version, features };
+        let bytes = hello.encode();
+        prop_assert_eq!(NodeHello::decode(&bytes), Some(hello));
+        prop_assert_eq!(NodeHello::decode(&bytes[..bytes.len() - 1]), None);
+        let mut padded = bytes.to_vec();
+        padded.extend(std::iter::repeat_n(0u8, extra));
+        prop_assert_eq!(NodeHello::decode(&padded), None);
+    }
+
+    /// Every `HelloReject` variant round-trips through its payload codec.
+    #[test]
+    fn hello_reject_round_trips(pick in any::<u8>(), a in any::<u16>(), b in any::<u16>()) {
+        let reject = match pick % 3 {
+            0 => HelloReject::VersionMismatch { ours: a, theirs: b },
+            1 => HelloReject::UnknownNode(NodeId::from_raw(a)),
+            _ => HelloReject::IdCollision(NodeId::from_raw(a)),
+        };
+        let bytes = reject.encode();
+        prop_assert_eq!(HelloReject::decode(&bytes), Some(reject));
+        prop_assert_eq!(HelloReject::decode(&bytes[..bytes.len() - 1]), None);
+    }
+}
